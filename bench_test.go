@@ -1,0 +1,314 @@
+// Benchmarks regenerating each of the paper's tables and figures
+// (Table I–IV, Fig. 3–7) at a reduced benchmark scale, plus
+// microbenchmarks of the hot computational kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark performs one full regeneration per
+// iteration; the printed ns/op is the wall time of reproducing that
+// table or figure under the benchmark configuration.
+package targad_test
+
+import (
+	"io"
+	"testing"
+
+	"targad/internal/autoencoder"
+	"targad/internal/cluster"
+	"targad/internal/core"
+	"targad/internal/dataset/synth"
+	"targad/internal/experiments"
+	"targad/internal/mat"
+	"targad/internal/metrics"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// benchConfig keeps each experiment's regeneration to seconds rather
+// than minutes so the full -bench=. sweep completes on one core. For
+// paper-scale numbers use `targad-bench -full`.
+func benchConfig() experiments.RunConfig {
+	return experiments.RunConfig{
+		Scale:          0.015,
+		Runs:           1,
+		Seed:           1,
+		AEEpochs:       3,
+		ClfEpochs:      8,
+		AELR:           1e-3,
+		ClfLR:          1e-3,
+		LabeledPerType: 10,
+	}
+}
+
+// trimmed restricts comparative sweeps to a representative baseline
+// panel (plus TargAD) so multi-setting figures stay benchmarkable.
+func trimmed() experiments.RunConfig {
+	rc := benchConfig()
+	rc.ModelFilter = []string{"DeepSAD", "DevNet"}
+	return rc
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Overall(b *testing.B) {
+	rc := trimmed()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(rc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Ablation(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4OOD(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Convergence(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4aNovelNonTarget(b *testing.B) {
+	rc := trimmed()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4a(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4bTargetClasses(b *testing.B) {
+	rc := trimmed()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4b(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4cLabeledCount(b *testing.B) {
+	rc := trimmed()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4c(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4dContamination(b *testing.B) {
+	rc := trimmed()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4d(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Weights(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6AlphaSensitivity(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aEta(b *testing.B) {
+	rc := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Eta(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bcLambda(b *testing.B) {
+	rc := benchConfig()
+	rc.ClfEpochs = 4 // 36-cell grid; keep the sweep bounded
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Lambda(rc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benchmarks ---------------------------------------------
+
+func BenchmarkTargADFit(b *testing.B) {
+	bundle, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale: 0.03, Seed: 1, LabeledPerType: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.AEEpochs = 3
+	cfg.ClfEpochs = 8
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.New(cfg, int64(i))
+		if err := m.Fit(bundle.Train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTargADScore(b *testing.B) {
+	bundle, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale: 0.03, Seed: 1, LabeledPerType: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.AEEpochs = 3
+	cfg.ClfEpochs = 8
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	m := core.New(cfg, 1)
+	if err := m.Fit(bundle.Train); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Score(bundle.Test.X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	r := rng.New(1)
+	a := mat.New(128, 196)
+	w := mat.New(196, 64)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(w.Data, 0, 1)
+	dst := mat.New(128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.Mul(dst, a, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	r := rng.New(2)
+	logits := mat.New(256, 10)
+	r.FillNormal(logits.Data, 0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.SoftmaxRows(logits)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	r := rng.New(3)
+	x := mat.New(1500, 41)
+	r.FillUniform(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(x, cluster.Config{K: 4}, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutoencoderEpoch(b *testing.B) {
+	r := rng.New(4)
+	x := mat.New(1024, 41)
+	r.FillUniform(x.Data, 0, 1)
+	cfg := autoencoder.Config{InputDim: 41, Hidden: []int{20, 10}, LR: 1e-3, BatchSize: 256, Epochs: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ae, err := autoencoder.New(cfg, rng.New(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ae.Train(x, nil, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAUPRC(b *testing.B) {
+	r := rng.New(5)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bernoulli(0.08)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.AUPRC(scores, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsolationForestScore(b *testing.B) {
+	bundle, err := synth.Generate(synth.NSLKDD(), synth.Options{Scale: 0.03, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := benchConfig()
+	m, _ := experiments.ModelByName(rc, "iForest")
+	det := m.New(1)
+	if err := det.Fit(bundle.Train); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Score(bundle.Test.X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.UNSWNB15(), synth.Options{Scale: 0.02, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/experiments"
+	"targad/internal/metrics"
+)
+
+// diagnose prints TargAD internals: candidate-set composition and how
+// many unlabeled target anomalies escaped into D_U^N.
+func diagnose(rc experiments.RunConfig, p synth.Profile) {
+	b, err := synth.Generate(p, synth.Options{Scale: rc.Scale, Seed: 1, LabeledPerType: rc.LabeledPerType})
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.AEEpochs = rc.AEEpochs
+	cfg.ClfEpochs = rc.ClfEpochs
+	cfg.AELR = rc.AELR
+	cfg.ClfLR = rc.ClfLR
+	cfg.KMax = 6
+	cfg.ClfEpochs = 150
+	cfg.ClfLR = 1e-3
+	cfg.K = 3
+	cfg.AEHidden = []int{12, 4}
+	cfg.AEEpochs = 20
+	cfg.EpochHook = func(epoch int, mo *core.Model) {
+		s, _ := mo.Score(b.Test.X)
+		prc, _ := metrics.AUPRC(s, b.Test.TargetLabels())
+		fmt.Printf("epoch %d: AUPRC=%.3f loss=%.4f\n", epoch, prc, mo.EpochLosses[len(mo.EpochLosses)-1])
+	}
+	m := core.New(cfg, 1)
+	if err := m.Fit(b.Train); err != nil {
+		panic(err)
+	}
+	var candT, candNT, candN int
+	inCand := map[int]bool{}
+	for _, row := range m.CandidateIndices() {
+		inCand[row] = true
+		switch b.Train.UnlabeledKind[row] {
+		case dataset.KindTarget:
+			candT++
+		case dataset.KindNonTarget:
+			candNT++
+		default:
+			candN++
+		}
+	}
+	var poolT, poolNT int
+	var escT, escNT int
+	for row, k := range b.Train.UnlabeledKind {
+		switch k {
+		case dataset.KindTarget:
+			poolT++
+			if !inCand[row] {
+				escT++
+			}
+		case dataset.KindNonTarget:
+			poolNT++
+			if !inCand[row] {
+				escNT++
+			}
+		}
+	}
+	fmt.Printf("k=%d  D_U^A: %d normal, %d/%d target, %d/%d non-target; escaped to D_U^N: %d targets, %d non-targets\n",
+		m.NumNormalClusters(), candN, candT, poolT, candNT, poolNT, escT, escNT)
+	s, _ := m.Score(b.Test.X)
+	prc, _ := metrics.AUPRC(s, b.Test.TargetLabels())
+	fmt.Printf("TargAD test AUPRC=%.3f\n", prc)
+	subsetAUPRC("target-vs-normal", s, b.Test.Kind, dataset.KindNormal)
+	subsetAUPRC("target-vs-nontarget", s, b.Test.Kind, dataset.KindNonTarget)
+	pw, _ := experiments.ModelByName(rc, "PIA-WAL")
+	det := pw.New(1)
+	if err := det.Fit(b.Train); err != nil {
+		panic(err)
+	}
+	s2, _ := det.Score(b.Test.X)
+	prc2, _ := metrics.AUPRC(s2, b.Test.TargetLabels())
+	fmt.Printf("PIA-WAL test AUPRC=%.3f\n", prc2)
+	subsetAUPRC("target-vs-normal", s2, b.Test.Kind, dataset.KindNormal)
+	subsetAUPRC("target-vs-nontarget", s2, b.Test.Kind, dataset.KindNonTarget)
+}
+
+// subsetAUPRC scores targets against only one negative kind.
+func subsetAUPRC(name string, s []float64, kinds []dataset.Kind, neg dataset.Kind) {
+	var ss []float64
+	var ll []bool
+	for i, k := range kinds {
+		if k == dataset.KindTarget || k == neg {
+			ss = append(ss, s[i])
+			ll = append(ll, k == dataset.KindTarget)
+		}
+	}
+	v, _ := metrics.AUPRC(ss, ll)
+	fmt.Printf("  %s AUPRC=%.3f\n", name, v)
+}

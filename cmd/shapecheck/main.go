@@ -1,0 +1,76 @@
+// Command shapecheck is a development aid: it prints the AUPRC of a
+// few representative detectors on one dataset so generator tuning can
+// be checked quickly. It is not part of the benchmark harness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"targad/internal/dataset/synth"
+	"targad/internal/detector"
+	"targad/internal/experiments"
+	"targad/internal/metrics"
+)
+
+func main() {
+	name := flag.String("dataset", "UNSW-NB15", "profile name")
+	models := flag.String("models", "iForest,DeepSAD,DevNet,PReNet,TargAD", "comma list")
+	diag := flag.Bool("diag", false, "print TargAD candidate diagnostics")
+	seeds := flag.Int("seeds", 1, "average over this many seeds")
+	flag.Parse()
+	rc := experiments.Fast()
+	p, ok := synth.ProfileByName(*name)
+	if !ok {
+		panic("unknown profile")
+	}
+	if *diag {
+		diagnose(rc, p)
+		return
+	}
+	var sel []string
+	cur := ""
+	for _, c := range *models + "," {
+		if c == ',' {
+			if cur != "" {
+				sel = append(sel, cur)
+			}
+			cur = ""
+		} else {
+			cur += string(c)
+		}
+	}
+	for _, mn := range sel {
+		m, ok := experiments.ModelByName(rc, mn)
+		if !ok {
+			fmt.Println("unknown model", mn)
+			continue
+		}
+		var sumP, sumR float64
+		t0 := time.Now()
+		for sd := 1; sd <= *seeds; sd++ {
+			b, err := synth.Generate(p, synth.Options{Scale: rc.Scale, Seed: int64(sd), LabeledPerType: rc.LabeledPerType})
+			if err != nil {
+				panic(err)
+			}
+			det := m.New(int64(sd))
+			if va, ok := det.(detector.ValidationAware); ok {
+				va.SetValidation(b.Val)
+			}
+			if err := det.Fit(b.Train); err != nil {
+				panic(err)
+			}
+			s, err := det.Score(b.Test.X)
+			if err != nil {
+				panic(err)
+			}
+			prc, _ := metrics.AUPRC(s, b.Test.TargetLabels())
+			roc, _ := metrics.AUROC(s, b.Test.TargetLabels())
+			sumP += prc
+			sumR += roc
+		}
+		n := float64(*seeds)
+		fmt.Printf("%-10s AUPRC=%.3f AUROC=%.3f (%v)\n", m.Name, sumP/n, sumR/n, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,155 @@
+// Command targad-bench regenerates the tables and figures of the
+// TargAD paper's evaluation section on the synthetic dataset
+// substitutes.
+//
+// Usage:
+//
+//	targad-bench -exp table2            # one experiment
+//	targad-bench -exp all -runs 1       # everything, single run each
+//	targad-bench -exp fig6 -scale 0.1   # bigger datasets
+//	targad-bench -exp table2 -full      # paper-scale (hours)
+//
+// Experiments: table1 table2 table3 table4 fig3 fig4a fig4b fig4c
+// fig4d fig5 fig6 fig7a fig7bc all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"targad/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "table2", "experiment to run (table1..table4, fig3..fig7bc, weight-ablation, all)")
+		full    = flag.Bool("full", false, "paper-scale configuration (slow)")
+		scale   = flag.Float64("scale", 0, "override dataset scale (fraction of Table I sizes)")
+		runs    = flag.Int("runs", 0, "override number of repetitions")
+		seed    = flag.Int64("seed", 0, "override base seed")
+		models  = flag.String("models", "", "comma-separated baseline subset (TargAD always kept)")
+		epochs  = flag.Int("clf-epochs", 0, "override TargAD classifier epochs")
+		lr      = flag.Float64("clf-lr", 0, "override TargAD classifier learning rate")
+		labeled = flag.Int("labeled", 0, "override labeled anomalies per target type")
+		quiet   = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		outPath = flag.String("o", "", "also write rendered results to this file")
+	)
+	flag.Parse()
+
+	rc := experiments.Fast()
+	if *full {
+		rc = experiments.Full()
+	}
+	if *scale > 0 {
+		rc.Scale = *scale
+	}
+	if *runs > 0 {
+		rc.Runs = *runs
+	}
+	if *seed != 0 {
+		rc.Seed = *seed
+	}
+	if *models != "" {
+		rc.ModelFilter = strings.Split(*models, ",")
+	}
+	if *epochs > 0 {
+		rc.ClfEpochs = *epochs
+	}
+	if *lr > 0 {
+		rc.ClfLR = *lr
+	}
+	if *labeled > 0 {
+		rc.LabeledPerType = *labeled
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "table3", "table4", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig5", "fig6", "fig7a", "fig7bc", "weight-ablation"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := run(name, rc, out, progress); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// renderer is implemented by every experiment result.
+type renderer interface{ Render(io.Writer) }
+
+func run(name string, rc experiments.RunConfig, out, progress io.Writer) error {
+	var (
+		res renderer
+		err error
+	)
+	switch name {
+	case "table1":
+		res, err = experiments.Table1(rc)
+	case "table2":
+		res, err = experiments.Table2(rc, progress)
+	case "table3":
+		res, err = experiments.Table3(rc, progress)
+	case "table4":
+		res, err = experiments.Table4(rc, progress)
+	case "fig3":
+		res, err = experiments.Fig3(rc, progress)
+	case "fig4a":
+		res, err = experiments.Fig4a(rc, progress)
+	case "fig4b":
+		res, err = experiments.Fig4b(rc, progress)
+	case "fig4c":
+		res, err = experiments.Fig4c(rc, progress)
+	case "fig4d":
+		res, err = experiments.Fig4d(rc, progress)
+	case "fig5":
+		res, err = experiments.Fig5(rc, progress)
+	case "fig6":
+		res, err = experiments.Fig6(rc, progress)
+	case "fig7a":
+		res, err = experiments.Fig7Eta(rc, progress)
+	case "fig7bc":
+		res, err = experiments.Fig7Lambda(rc, progress)
+	case "weight-ablation":
+		res, err = experiments.WeightAblation(rc, progress)
+	default:
+		return fmt.Errorf("unknown experiment %q (see -h)", name)
+	}
+	if err != nil {
+		return err
+	}
+	res.Render(out)
+	// Append the paper's qualitative shape checks where defined.
+	switch r := res.(type) {
+	case *experiments.Table2Result:
+		fmt.Fprintf(out, "\nShape checks:\n%s", experiments.RenderShapes(experiments.Table2Shapes(r)))
+	case *experiments.Fig4Result:
+		if name == "fig4a" {
+			fmt.Fprintf(out, "\nShape checks:\n%s", experiments.RenderShapes(experiments.Fig4aShapes(r)))
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "targad-bench:", err)
+	os.Exit(1)
+}

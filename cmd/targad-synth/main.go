@@ -1,0 +1,116 @@
+// Command targad-synth materializes one of the synthetic benchmark
+// datasets as CSV files, so the cmd/targad workflow (and any external
+// tool) can consume them:
+//
+//	targad-synth -dataset KDDCUP99 -scale 0.05 -out data/
+//
+// writes into the output directory:
+//
+//	labeled.csv      target-type index in column 1, features after
+//	unlabeled.csv    unlabeled training pool (features only)
+//	test.csv         test features
+//	test_truth.csv   per-row ground truth: kind (0 normal, 1 target,
+//	                 2 non-target) and sub-type index
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/mat"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "UNSW-NB15", "profile: UNSW-NB15, KDDCUP99, NSL-KDD, SQB")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's Table I sizes")
+		contam  = flag.Float64("contamination", 0, "anomaly fraction of the unlabeled pool (0 = paper default 5%)")
+		labeled = flag.Int("labeled", 0, "labeled anomalies per target type (0 = profile default, scaled)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		outDir  = flag.String("out", ".", "output directory (created if missing)")
+	)
+	flag.Parse()
+
+	profile, ok := synth.ProfileByName(*name)
+	if !ok {
+		fatal(fmt.Errorf("unknown dataset %q", *name))
+	}
+	bundle, err := synth.Generate(profile, synth.Options{
+		Scale:          *scale,
+		Contamination:  *contam,
+		LabeledPerType: *labeled,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	writeLabeled(filepath.Join(*outDir, "labeled.csv"), bundle.Train)
+	writeMatrix(filepath.Join(*outDir, "unlabeled.csv"), bundle.Train.Unlabeled)
+	writeMatrix(filepath.Join(*outDir, "test.csv"), bundle.Test.X)
+	writeTruth(filepath.Join(*outDir, "test_truth.csv"), bundle.Test)
+
+	n, tg, nt := bundle.Test.Counts()
+	fmt.Fprintf(os.Stderr,
+		"targad-synth: %s at scale %g → %d labeled, %d unlabeled, test %d normal / %d target / %d non-target in %s\n",
+		profile.Name, *scale, bundle.Train.Labeled.Rows, bundle.Train.Unlabeled.Rows, n, tg, nt, *outDir)
+}
+
+func writeLabeled(path string, train *dataset.TrainSet) {
+	f := create(path)
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	for i := 0; i < train.Labeled.Rows; i++ {
+		fmt.Fprint(w, train.LabeledType[i])
+		for _, v := range train.Labeled.Row(i) {
+			fmt.Fprint(w, ",", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func writeMatrix(path string, m *mat.Matrix) {
+	f := create(path)
+	defer f.Close()
+	if err := dataset.WriteCSV(f, m, nil); err != nil {
+		fatal(err)
+	}
+}
+
+func writeTruth(path string, e *dataset.EvalSet) {
+	f := create(path)
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	fmt.Fprintln(w, "kind,type")
+	for i, k := range e.Kind {
+		ty := 0
+		if e.Type != nil {
+			ty = e.Type[i]
+		}
+		fmt.Fprintf(w, "%d,%d\n", int(k), ty)
+	}
+}
+
+func create(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "targad-synth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command targad trains a TargAD model on CSV data and scores a CSV
+// of test instances — the quick adoption path for using the library on
+// your own tabular data.
+//
+// The training data comes in two files: -labeled holds labeled target
+// anomalies with the anomaly type index (0..m-1) in the FIRST column
+// and features after it; -unlabeled holds raw feature rows. The test
+// file (-score) holds raw feature rows; one score per row is written
+// to stdout (or -o), higher = more likely a target anomaly.
+//
+// Example:
+//
+//	targad -labeled labeled.csv -unlabeled pool.csv -score test.csv \
+//	       -alpha 0.05 -k 0 -epochs 30
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/mat"
+)
+
+func main() {
+	var (
+		labeledPath   = flag.String("labeled", "", "CSV of labeled target anomalies (type index in first column)")
+		unlabeledPath = flag.String("unlabeled", "", "CSV of unlabeled instances (features only)")
+		scorePath     = flag.String("score", "", "CSV of instances to score (features only)")
+		outPath       = flag.String("o", "", "write scores here instead of stdout")
+		hasHeader     = flag.Bool("header", false, "CSV files have a header row")
+		alpha         = flag.Float64("alpha", 0.05, "candidate-selection threshold (top fraction by reconstruction error)")
+		k             = flag.Int("k", 0, "number of normal clusters (0 = elbow method)")
+		eta           = flag.Float64("eta", 1, "autoencoder trade-off eta")
+		lambda1       = flag.Float64("lambda1", 0.1, "weight of L_OE")
+		lambda2       = flag.Float64("lambda2", 1, "weight of L_RE")
+		epochs        = flag.Int("epochs", 30, "training epochs for autoencoders and classifier")
+		lr            = flag.Float64("lr", 1e-3, "learning rate for both stages")
+		seed          = flag.Int64("seed", 1, "random seed")
+		savePath      = flag.String("save", "", "write the trained model here")
+		loadPath      = flag.String("load", "", "load a trained model instead of training (-labeled/-unlabeled ignored)")
+		normalize     = flag.Bool("normalize", true, "min-max scale features using the training data's ranges")
+	)
+	flag.Parse()
+	if *scorePath == "" || (*loadPath == "" && (*labeledPath == "" || *unlabeledPath == "")) {
+		fmt.Fprintln(os.Stderr, "targad: need -score plus either -load or both -labeled and -unlabeled")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *loadPath != "" {
+		scoreWithSavedModel(*loadPath, *scorePath, *outPath, *hasHeader)
+		return
+	}
+
+	labeledRaw := loadCSV(*labeledPath, *hasHeader)
+	unlabeled := loadCSV(*unlabeledPath, *hasHeader)
+	test := loadCSV(*scorePath, *hasHeader)
+
+	// Split the type column off the labeled file.
+	if labeledRaw.Cols < 2 {
+		fatal(fmt.Errorf("labeled CSV needs a type column plus features, got %d columns", labeledRaw.Cols))
+	}
+	labeled := mat.New(labeledRaw.Rows, labeledRaw.Cols-1)
+	types := make([]int, labeledRaw.Rows)
+	maxType := 0
+	for i := 0; i < labeledRaw.Rows; i++ {
+		row := labeledRaw.Row(i)
+		t := int(row[0])
+		if t < 0 {
+			fatal(fmt.Errorf("labeled row %d has negative type %v", i, row[0]))
+		}
+		types[i] = t
+		if t > maxType {
+			maxType = t
+		}
+		copy(labeled.Row(i), row[1:])
+	}
+
+	if *normalize {
+		pool := dataset.MustVStack(unlabeled, labeled)
+		scaler, err := dataset.FitMinMax(pool)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range []*mat.Matrix{labeled, unlabeled, test} {
+			if err := scaler.Transform(m); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	train := &dataset.TrainSet{
+		Labeled:        labeled,
+		LabeledType:    types,
+		NumTargetTypes: maxType + 1,
+		Unlabeled:      unlabeled,
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Alpha = *alpha
+	cfg.K = *k
+	cfg.Eta = *eta
+	cfg.Lambda1 = *lambda1
+	cfg.Lambda2 = *lambda2
+	cfg.AEEpochs = *epochs
+	cfg.ClfEpochs = *epochs
+	cfg.AELR = *lr
+	cfg.ClfLR = *lr
+	model := core.New(cfg, *seed)
+
+	fmt.Fprintf(os.Stderr, "targad: training on %d labeled (m=%d types) + %d unlabeled instances, %d features\n",
+		labeled.Rows, train.NumTargetTypes, unlabeled.Rows, unlabeled.Cols)
+	if err := model.Fit(train); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "targad: trained with k=%d normal clusters\n", model.NumNormalClusters())
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "targad: model saved to %s\n", *savePath)
+	}
+
+	scores, err := model.Score(test)
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, s := range scores {
+		fmt.Fprintln(w, strconv.FormatFloat(s, 'g', -1, 64))
+	}
+}
+
+// scoreWithSavedModel loads a serialized model and scores a CSV.
+// Note: a saved model expects inputs in the same normalized space it
+// was trained in; pass pre-normalized features when using -load.
+func scoreWithSavedModel(modelPath, scorePath, outPath string, header bool) {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := core.Load(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	test := loadCSV(scorePath, header)
+	scores, err := model.Score(test)
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		out = of
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, s := range scores {
+		fmt.Fprintln(w, strconv.FormatFloat(s, 'g', -1, 64))
+	}
+}
+
+func loadCSV(path string, header bool) *mat.Matrix {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m, _, err := dataset.LoadCSV(bufio.NewReader(f), header)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "targad:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+// Package targad is a from-scratch Go reproduction of "A Robust
+// Prioritized Anomaly Detection when Not All Anomalies are of Primary
+// Interest" (Lu et al., ICDE 2024) — the TargAD model, the eleven
+// baselines it is evaluated against, synthetic equivalents of its four
+// benchmark datasets, and a harness that regenerates every table and
+// figure of the paper's evaluation section.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory); runnable entry points are:
+//
+//   - cmd/targad — train and score TargAD on CSV data
+//   - cmd/targad-bench — regenerate the paper's tables and figures
+//   - examples/ — quickstart, payments, netintrusion, and triage
+//     scenario walkthroughs
+//
+// The benchmarks in bench_test.go, one per table and figure, time the
+// regeneration of each experiment at a reduced scale.
+package targad

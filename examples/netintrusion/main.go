@@ -1,0 +1,78 @@
+// Netintrusion: the paper's motivating scenario 2 — an enterprise
+// network where high-risk attacks (here the UNSW-NB15 target classes
+// Generic / Backdoor / DoS) must be caught even when NEW kinds of
+// low-risk anomalies appear that were never seen in training.
+//
+// Training withholds three of the four non-target attack types; the
+// test traffic contains all four. The example compares TargAD against
+// DevNet under this distribution shift — the Fig. 4(a) protocol.
+//
+//	go run ./examples/netintrusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"targad/internal/baselines/devnet"
+	"targad/internal/core"
+	"targad/internal/dataset/synth"
+	"targad/internal/metrics"
+)
+
+func main() {
+	// Only Reconnaissance appears as a non-target type in training;
+	// Fuzzers, Analysis and Exploits are novel at test time.
+	bundle, err := synth.Generate(synth.UNSWNB15(), synth.Options{
+		Scale:               0.04,
+		Seed:                11,
+		LabeledPerType:      30,
+		TrainNonTargetTypes: []string{"Reconnaissance"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training sees 1 non-target attack type; testing contains 4 (3 novel)")
+
+	cfg := core.DefaultConfig()
+	cfg.AEEpochs = 10
+	cfg.ClfEpochs = 20
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	model := core.New(cfg, 3)
+	if err := model.Fit(bundle.Train); err != nil {
+		log.Fatal(err)
+	}
+	targadScores, err := model.Score(bundle.Test.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dn := devnet.New(devnet.DefaultConfig(3))
+	if err := dn.Fit(bundle.Train); err != nil {
+		log.Fatal(err)
+	}
+	devnetScores, err := dn.Score(bundle.Test.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	labels := bundle.Test.TargetLabels()
+	for _, m := range []struct {
+		name   string
+		scores []float64
+	}{{"TargAD", targadScores}, {"DevNet", devnetScores}} {
+		auprc, err := metrics.AUPRC(m.scores, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auroc, err := metrics.AUROC(m.scores, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s AUPRC=%.3f AUROC=%.3f (target attacks vs everything else)\n", m.name, auprc, auroc)
+	}
+	fmt.Println("\nTargAD's outlier-exposure pseudo-labels calibrate novel non-target")
+	fmt.Println("attacks toward a uniform predictive distribution, so they do not")
+	fmt.Println("crowd out the high-risk detections.")
+}

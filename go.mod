@@ -1,0 +1,3 @@
+module targad
+
+go 1.22

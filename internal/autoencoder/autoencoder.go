@@ -1,0 +1,267 @@
+// Package autoencoder implements the candidate-selection autoencoder
+// of TargAD (Section III-B1): a bottleneck MLP trained on one
+// unlabeled cluster with the semi-supervised loss of Eq. (1), which
+// adds a DeepSAD-inspired inverse reconstruction penalty for labeled
+// target anomalies so that anomalies reconstruct poorly.
+package autoencoder
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls one autoencoder.
+type Config struct {
+	// InputDim is the feature dimensionality D.
+	InputDim int
+	// Hidden lists the encoder hidden widths, bottleneck last
+	// (e.g. {64, 32}); the decoder mirrors it. Empty uses a default
+	// sized from InputDim.
+	Hidden []int
+	// Eta is the trade-off η of Eq. (1) weighting the labeled-anomaly
+	// inverse-error penalty (paper default 1).
+	Eta float64
+	// LR is the Adam learning rate (paper default 1e-4).
+	LR float64
+	// BatchSize is the unlabeled mini-batch size (paper default 256).
+	BatchSize int
+	// Epochs is the number of passes over the cluster (paper
+	// default 30).
+	Epochs int
+}
+
+// Default returns the paper's hyperparameters for dimensionality d.
+func Default(d int) Config {
+	return Config{
+		InputDim:  d,
+		Hidden:    defaultHidden(d),
+		Eta:       1,
+		LR:        1e-4,
+		BatchSize: 256,
+		Epochs:    30,
+	}
+}
+
+func defaultHidden(d int) []int {
+	h1 := d / 2
+	if h1 < 16 {
+		h1 = 16
+	}
+	h2 := d / 4
+	if h2 < 8 {
+		h2 = 8
+	}
+	return []int{h1, h2}
+}
+
+// invErrEps floors the reconstruction error inside the inverse penalty
+// so a perfectly reconstructed labeled anomaly cannot blow up the
+// loss.
+const invErrEps = 1e-3
+
+// AE is a trained autoencoder.
+type AE struct {
+	cfg Config
+	net *nn.MLP
+}
+
+// New builds an untrained autoencoder.
+func New(cfg Config, r *rng.RNG) (*AE, error) {
+	if cfg.InputDim <= 0 {
+		return nil, fmt.Errorf("autoencoder: input dim %d", cfg.InputDim)
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = defaultHidden(cfg.InputDim)
+	}
+	dims := []int{cfg.InputDim}
+	dims = append(dims, cfg.Hidden...)
+	for i := len(cfg.Hidden) - 2; i >= 0; i-- {
+		dims = append(dims, cfg.Hidden[i])
+	}
+	dims = append(dims, cfg.InputDim)
+	net, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   dims,
+		Hidden: nn.ReLU,
+		Output: nn.Sigmoid, // inputs are min-max scaled to [0,1]
+		Init:   nn.HeNormal,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return &AE{cfg: cfg, net: net}, nil
+}
+
+// Train fits the autoencoder on one unlabeled cluster with the Eq. (1)
+// loss. labeled may be nil or empty (η term skipped), which recovers a
+// conventional unsupervised autoencoder — the η = 0 ablation of
+// Fig. 7(a). It returns the mean epoch losses.
+func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, error) {
+	if unlabeled == nil || unlabeled.Rows == 0 {
+		return nil, errors.New("autoencoder: empty unlabeled cluster")
+	}
+	if unlabeled.Cols != ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: unlabeled dim %d, want %d", unlabeled.Cols, ae.cfg.InputDim)
+	}
+	useLabeled := ae.cfg.Eta != 0 && labeled != nil && labeled.Rows > 0
+	if useLabeled && labeled.Cols != ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: labeled dim %d, want %d", labeled.Cols, ae.cfg.InputDim)
+	}
+
+	opt := nn.NewAdam(ae.cfg.LR)
+	batcher := nn.NewBatcher(unlabeled.Rows, ae.cfg.BatchSize, r)
+	losses := make([]float64, 0, ae.cfg.Epochs)
+	for epoch := 0; epoch < ae.cfg.Epochs; epoch++ {
+		var epochLoss float64
+		nb := batcher.BatchesPerEpoch()
+		for b := 0; b < nb; b++ {
+			idx := batcher.Next()
+			xb := nn.Gather(unlabeled, idx)
+			ae.net.ZeroGrad()
+
+			// Unlabeled reconstruction term.
+			rec := ae.net.Forward(xb)
+			loss, grad := reconLossGrad(rec, xb)
+			ae.net.Backward(grad)
+
+			// Labeled inverse-error term (Eq. 1, second summand).
+			if useLabeled {
+				recL := ae.net.Forward(labeled)
+				l2, g2 := inverseLossGrad(recL, labeled, ae.cfg.Eta)
+				ae.net.Backward(g2)
+				loss += l2
+			}
+			opt.Step(ae.net.Params())
+			epochLoss += loss
+		}
+		losses = append(losses, epochLoss/float64(nb))
+	}
+	return losses, nil
+}
+
+// reconLossGrad returns (1/n)Σ‖x−r‖² and its gradient w.r.t. r.
+func reconLossGrad(rec, x *mat.Matrix) (float64, *mat.Matrix) {
+	n := float64(rec.Rows)
+	grad := mat.New(rec.Rows, rec.Cols)
+	var loss float64
+	for i, rv := range rec.Data {
+		d := rv - x.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// inverseLossGrad returns (η/n)Σ(‖x−r‖²)⁻¹ and its gradient w.r.t. r.
+func inverseLossGrad(rec, x *mat.Matrix, eta float64) (float64, *mat.Matrix) {
+	n := float64(rec.Rows)
+	grad := mat.New(rec.Rows, rec.Cols)
+	var loss float64
+	for i := 0; i < rec.Rows; i++ {
+		rr, xr := rec.Row(i), x.Row(i)
+		e := mat.SquaredDistance(rr, xr) + invErrEps
+		loss += eta / n / e
+		coef := -2 * eta / n / (e * e)
+		gr := grad.Row(i)
+		for j := range rr {
+			gr[j] = coef * (rr[j] - xr[j])
+		}
+	}
+	return loss, grad
+}
+
+// Reconstruct returns the autoencoder's reconstruction of each row.
+func (ae *AE) Reconstruct(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols != ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: input dim %d, want %d", x.Cols, ae.cfg.InputDim)
+	}
+	return ae.net.Forward(x), nil
+}
+
+// ReconstructionErrors returns S^Rec(x) = ‖x − φ_D(φ_E(x))‖² (Eq. 2)
+// for every row of x.
+func (ae *AE) ReconstructionErrors(x *mat.Matrix) ([]float64, error) {
+	rec, err := ae.Reconstruct(x)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]float64, x.Rows)
+	for i := range errs {
+		errs[i] = mat.SquaredDistance(x.Row(i), rec.Row(i))
+	}
+	return errs, nil
+}
+
+// Encoder returns the latent representation of each row (the output of
+// the bottleneck layer). Used by DeepSAD-style baselines that reuse a
+// pretrained encoder.
+func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols != ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: input dim %d, want %d", x.Cols, ae.cfg.InputDim)
+	}
+	// The encoder is the first half of the layer stack:
+	// len(Hidden) Dense layers, each followed by an activation.
+	out := x
+	nEnc := 2 * len(ae.cfg.Hidden)
+	for i := 0; i < nEnc && i < len(ae.net.Layers); i++ {
+		out = ae.net.Layers[i].Forward(out)
+	}
+	return out, nil
+}
+
+// TrainPerCluster trains one autoencoder per cluster concurrently
+// (Algorithm 1, lines 2–5). clusters[i] lists the unlabeled row
+// indices of cluster i. It returns the trained autoencoders and
+// S^Rec for every unlabeled row, computed by the AE of its own
+// cluster.
+func TrainPerCluster(unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Config, r *rng.RNG) ([]*AE, []float64, error) {
+	k := len(clusters)
+	if k == 0 {
+		return nil, nil, errors.New("autoencoder: no clusters")
+	}
+	aes := make([]*AE, k)
+	errsByCluster := make([][]float64, k)
+	firstErr := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		cr := r.SplitN("ae", i)
+		wg.Add(1)
+		go func(i int, cr *rng.RNG) {
+			defer wg.Done()
+			sub := nn.Gather(unlabeled, clusters[i])
+			ae, err := New(cfg, cr)
+			if err != nil {
+				firstErr[i] = err
+				return
+			}
+			if _, err := ae.Train(sub, labeled, cr); err != nil {
+				firstErr[i] = err
+				return
+			}
+			es, err := ae.ReconstructionErrors(sub)
+			if err != nil {
+				firstErr[i] = err
+				return
+			}
+			aes[i] = ae
+			errsByCluster[i] = es
+		}(i, cr)
+	}
+	wg.Wait()
+	for _, err := range firstErr {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	scores := make([]float64, unlabeled.Rows)
+	for i, idxs := range clusters {
+		for j, row := range idxs {
+			scores[row] = errsByCluster[i][j]
+		}
+	}
+	return aes, scores, nil
+}

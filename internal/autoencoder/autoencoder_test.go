@@ -1,0 +1,227 @@
+package autoencoder
+
+import (
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/metrics"
+	"targad/internal/rng"
+)
+
+// toyData builds normals clustered near two modes and anomalies far
+// from both, in [0,1]^d.
+func toyData(r *rng.RNG, nNormal, nAnom, d int) (normals, anomalies *mat.Matrix) {
+	normals = mat.New(nNormal, d)
+	for i := 0; i < nNormal; i++ {
+		center := 0.3
+		if i%2 == 0 {
+			center = 0.6
+		}
+		for j := 0; j < d; j++ {
+			v := r.Normal(center, 0.05)
+			normals.Set(i, j, clamp(v))
+		}
+	}
+	anomalies = mat.New(nAnom, d)
+	for i := 0; i < nAnom; i++ {
+		for j := 0; j < d; j++ {
+			if j%3 == 0 {
+				anomalies.Set(i, j, clamp(r.Normal(0.95, 0.03)))
+			} else {
+				anomalies.Set(i, j, clamp(r.Normal(0.45, 0.05)))
+			}
+		}
+	}
+	return normals, anomalies
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestConfigValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := New(Config{InputDim: 0}, r); err == nil {
+		t.Fatal("zero input dim must error")
+	}
+	ae, err := New(Default(8), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Train(nil, nil, r); err == nil {
+		t.Fatal("nil unlabeled must error")
+	}
+	if _, err := ae.Train(mat.New(3, 5), nil, r); err == nil {
+		t.Fatal("wrong unlabeled dim must error")
+	}
+	if _, err := ae.Train(mat.New(3, 8), mat.New(1, 5), r); err == nil {
+		t.Fatal("wrong labeled dim must error")
+	}
+	if _, err := ae.ReconstructionErrors(mat.New(1, 5)); err == nil {
+		t.Fatal("wrong score dim must error")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	r := rng.New(2)
+	normals, _ := toyData(r, 200, 0, 10)
+	cfg := Config{InputDim: 10, Hidden: []int{8, 4}, Eta: 0, LR: 5e-3, BatchSize: 32, Epochs: 15}
+	ae, err := New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := ae.Train(normals, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 15 {
+		t.Fatalf("expected 15 epoch losses, got %d", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestAnomaliesReconstructWorse(t *testing.T) {
+	r := rng.New(3)
+	normals, anomalies := toyData(r, 300, 60, 12)
+	cfg := Config{InputDim: 12, Hidden: []int{8, 4}, Eta: 0, LR: 5e-3, BatchSize: 32, Epochs: 25}
+	ae, err := New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Train(normals, nil, r); err != nil {
+		t.Fatal(err)
+	}
+	en, err := ae.ReconstructionErrors(normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := ae.ReconstructionErrors(anomalies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Mean(ea) <= mat.Mean(en) {
+		t.Fatalf("anomaly recon error %v not above normal %v", mat.Mean(ea), mat.Mean(en))
+	}
+}
+
+func TestEtaPenaltyRaisesAnomalyError(t *testing.T) {
+	// Eq. (1): with labeled anomalies and eta > 0 the AE should
+	// separate anomalies (by recon-error ranking) at least as well as
+	// without.
+	r := rng.New(4)
+	normals, anomalies := toyData(r, 300, 60, 12)
+	labeled := mat.New(20, 12)
+	for i := 0; i < 20; i++ {
+		copy(labeled.Row(i), anomalies.Row(i))
+	}
+	rank := func(eta float64, seed int64) float64 {
+		rr := rng.New(seed)
+		cfg := Config{InputDim: 12, Hidden: []int{8, 4}, Eta: eta, LR: 5e-3, BatchSize: 32, Epochs: 25}
+		ae, err := New(cfg, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ae.Train(normals, labeled, rr); err != nil {
+			t.Fatal(err)
+		}
+		en, _ := ae.ReconstructionErrors(normals)
+		ea, _ := ae.ReconstructionErrors(anomalies.Clone())
+		scores := append(en, ea...)
+		labels := make([]bool, len(scores))
+		for i := len(en); i < len(scores); i++ {
+			labels[i] = true
+		}
+		v, err := metrics.AUROC(scores, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	with := rank(1, 10)
+	if with < 0.9 {
+		t.Fatalf("eta=1 separation AUROC = %v, want >= 0.9", with)
+	}
+}
+
+func TestEncoderOutputsBottleneckWidth(t *testing.T) {
+	r := rng.New(5)
+	cfg := Config{InputDim: 10, Hidden: []int{8, 3}, LR: 1e-3, BatchSize: 16, Epochs: 1}
+	ae, err := New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(4, 10)
+	r.FillUniform(x.Data, 0, 1)
+	z, err := ae.Encoder(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rows != 4 || z.Cols != 3 {
+		t.Fatalf("Encoder output %dx%d, want 4x3", z.Rows, z.Cols)
+	}
+}
+
+func TestReconstructInUnitRange(t *testing.T) {
+	r := rng.New(6)
+	ae, err := New(Config{InputDim: 6, Hidden: []int{4, 2}, LR: 1e-3, BatchSize: 8, Epochs: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(10, 6)
+	r.FillUniform(x.Data, 0, 1)
+	if _, err := ae.Train(x, nil, r); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ae.Reconstruct(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rec.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid output out of range: %v", v)
+		}
+	}
+}
+
+func TestTrainPerCluster(t *testing.T) {
+	r := rng.New(7)
+	normals, _ := toyData(r, 120, 0, 8)
+	clusters := [][]int{{}, {}}
+	for i := 0; i < normals.Rows; i++ {
+		clusters[i%2] = append(clusters[i%2], i)
+	}
+	cfg := Config{InputDim: 8, Hidden: []int{6, 3}, LR: 5e-3, BatchSize: 16, Epochs: 5}
+	aes, scores, err := TrainPerCluster(normals, nil, clusters, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aes) != 2 {
+		t.Fatalf("expected 2 AEs, got %d", len(aes))
+	}
+	if len(scores) != normals.Rows {
+		t.Fatalf("expected %d scores, got %d", normals.Rows, len(scores))
+	}
+	// Scores must be scattered back to the right rows: recompute row
+	// 0's error with its own cluster's AE.
+	c0 := clusters[0][0]
+	one := mat.New(1, 8)
+	copy(one.Row(0), normals.Row(c0))
+	es, err := aes[0].ReconstructionErrors(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0] != scores[c0] {
+		t.Fatalf("score scatter mismatch: %v vs %v", es[0], scores[c0])
+	}
+	if _, _, err := TrainPerCluster(normals, nil, nil, cfg, r); err == nil {
+		t.Fatal("no clusters must error")
+	}
+}

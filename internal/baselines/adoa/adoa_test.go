@@ -1,0 +1,99 @@
+package adoa
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func trainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.4, 0.05)
+	}
+	a := mat.New(nA, d)
+	for i := 0; i < nA; i++ {
+		// Two anomaly modes so the anomaly-clustering step has
+		// something to find.
+		c := 0.8
+		if i%2 == 0 {
+			c = 0.05
+		}
+		for j := 0; j < d; j++ {
+			a.Set(i, j, clampT(r.Normal(c, 0.03)))
+		}
+	}
+	types := make([]int, nA)
+	for i := range types {
+		types[i] = i % 2
+	}
+	return &dataset.TrainSet{Labeled: a, LabeledType: types, NumTargetTypes: 2, Unlabeled: u}
+}
+
+func clampT(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestAnomalyClusterCountDefaults(t *testing.T) {
+	r := rng.New(1)
+	ts := trainSet(r, 200, 16, 4)
+	cfg := DefaultConfig(2)
+	cfg.Epochs = 5
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	if m.kA != 2 {
+		t.Fatalf("anomaly clusters = %d, want NumTargetTypes = 2", m.kA)
+	}
+}
+
+func TestAnomalyClustersClampToLabels(t *testing.T) {
+	r := rng.New(3)
+	ts := trainSet(r, 100, 4, 3)
+	cfg := DefaultConfig(4)
+	cfg.Epochs = 3
+	cfg.AnomalyClusters = 10 // more clusters than labels: must clamp
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	if m.kA != 4 {
+		t.Fatalf("anomaly clusters = %d, want clamp to 4 labels", m.kA)
+	}
+}
+
+func TestScoreIsAnomalyProbability(t *testing.T) {
+	r := rng.New(5)
+	ts := trainSet(r, 250, 16, 4)
+	cfg := DefaultConfig(6)
+	cfg.Epochs = 12
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Score(ts.Unlabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("score %v outside [0,1] (must be 1 − P(normal))", v)
+		}
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+		t.Fatal("must require labeled anomalies")
+	}
+}

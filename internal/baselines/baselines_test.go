@@ -1,0 +1,258 @@
+// Package baselines_test exercises every baseline through the shared
+// detector interface: construction, fitting, scoring, error paths, and
+// a learnability bar on an easy synthetic dataset.
+package baselines_test
+
+import (
+	"math"
+	"testing"
+
+	"targad/internal/baselines/adoa"
+	"targad/internal/baselines/deepsad"
+	"targad/internal/baselines/devnet"
+	"targad/internal/baselines/dplan"
+	"targad/internal/baselines/dualmgan"
+	"targad/internal/baselines/feawad"
+	"targad/internal/baselines/iforest"
+	"targad/internal/baselines/piawal"
+	"targad/internal/baselines/prenet"
+	"targad/internal/baselines/pumad"
+	"targad/internal/baselines/repen"
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/detector"
+	"targad/internal/mat"
+	"targad/internal/metrics"
+)
+
+// fastFactories builds every baseline with a cheap test configuration.
+func fastFactories() []struct {
+	name string
+	new  detector.Factory
+} {
+	return []struct {
+		name string
+		new  detector.Factory
+	}{
+		{"iForest", func(seed int64) detector.Detector {
+			cfg := iforest.DefaultConfig(seed)
+			cfg.Trees = 25
+			return iforest.New(cfg)
+		}},
+		{"REPEN", func(seed int64) detector.Detector {
+			cfg := repen.DefaultConfig(seed)
+			cfg.Epochs = 5
+			return repen.New(cfg)
+		}},
+		{"ADOA", func(seed int64) detector.Detector {
+			cfg := adoa.DefaultConfig(seed)
+			cfg.Epochs = 10
+			return adoa.New(cfg)
+		}},
+		{"FEAWAD", func(seed int64) detector.Detector {
+			cfg := feawad.DefaultConfig(seed)
+			cfg.AEEpochs = 5
+			cfg.Epochs = 10
+			return feawad.New(cfg)
+		}},
+		{"PUMAD", func(seed int64) detector.Detector {
+			cfg := pumad.DefaultConfig(seed)
+			cfg.Epochs = 10
+			return pumad.New(cfg)
+		}},
+		{"DevNet", func(seed int64) detector.Detector {
+			cfg := devnet.DefaultConfig(seed)
+			cfg.Epochs = 10
+			return devnet.New(cfg)
+		}},
+		{"DeepSAD", func(seed int64) detector.Detector {
+			cfg := deepsad.DefaultConfig(seed)
+			cfg.PretrainEpochs = 3
+			cfg.Epochs = 10
+			return deepsad.New(cfg)
+		}},
+		{"DPLAN", func(seed int64) detector.Detector {
+			cfg := dplan.DefaultConfig(seed)
+			cfg.Steps = 1500
+			return dplan.New(cfg)
+		}},
+		{"PIA-WAL", func(seed int64) detector.Detector {
+			cfg := piawal.DefaultConfig(seed)
+			cfg.Epochs = 10
+			return piawal.New(cfg)
+		}},
+		{"Dual-MGAN", func(seed int64) detector.Detector {
+			cfg := dualmgan.DefaultConfig(seed)
+			cfg.Epochs = 10
+			return dualmgan.New(cfg)
+		}},
+		{"PReNet", func(seed int64) detector.Detector {
+			cfg := prenet.DefaultConfig(seed)
+			cfg.Steps = 300
+			return prenet.New(cfg)
+		}},
+	}
+}
+
+func smallBundle(t *testing.T) *dataset.Bundle {
+	t.Helper()
+	b, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale:          0.02,
+		Seed:           11,
+		LabeledPerType: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAllBaselinesFitAndScore(t *testing.T) {
+	b := smallBundle(t)
+	for _, f := range fastFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			det := f.new(1)
+			if det.Name() != f.name {
+				t.Fatalf("Name = %q, want %q", det.Name(), f.name)
+			}
+			if err := det.Fit(b.Train); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := det.Score(b.Test.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scores) != b.Test.X.Rows {
+				t.Fatalf("got %d scores for %d rows", len(scores), b.Test.X.Rows)
+			}
+			var lo, hi float64 = scores[0], scores[0]
+			for _, s := range scores {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("invalid score %v", s)
+				}
+				lo = math.Min(lo, s)
+				hi = math.Max(hi, s)
+			}
+			if lo == hi {
+				t.Fatal("all scores identical: detector produced no ranking")
+			}
+		})
+	}
+}
+
+func TestBaselinesScoreUnfittedErrors(t *testing.T) {
+	for _, f := range fastFactories() {
+		det := f.new(1)
+		if _, err := det.Score(mat.New(1, 3)); err == nil {
+			t.Fatalf("%s: scoring unfitted detector must error", det.Name())
+		}
+	}
+}
+
+func TestSemiSupervisedRequireLabels(t *testing.T) {
+	b := smallBundle(t)
+	noLabels := &dataset.TrainSet{
+		Labeled:        mat.New(0, b.Train.Dim()),
+		NumTargetTypes: 1,
+		Unlabeled:      b.Train.Unlabeled,
+	}
+	for _, f := range fastFactories() {
+		det := f.new(1)
+		switch det.Name() {
+		case "iForest", "REPEN":
+			continue // unsupervised: must accept label-free input
+		case "DeepSAD":
+			continue // degrades gracefully to DeepSVDD without labels
+		}
+		if err := det.Fit(noLabels); err == nil {
+			t.Fatalf("%s: fitting without labeled anomalies must error", det.Name())
+		}
+	}
+}
+
+func TestUnsupervisedIgnoreLabels(t *testing.T) {
+	b := smallBundle(t)
+	noLabels := &dataset.TrainSet{
+		Labeled:        mat.New(0, b.Train.Dim()),
+		NumTargetTypes: 1,
+		Unlabeled:      b.Train.Unlabeled,
+	}
+	for _, name := range []string{"iForest", "REPEN"} {
+		for _, f := range fastFactories() {
+			if f.name != name {
+				continue
+			}
+			det := f.new(1)
+			if err := det.Fit(noLabels); err != nil {
+				t.Fatalf("%s must train unsupervised: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestBaselinesDetectAnomaliesAboveChance(t *testing.T) {
+	// Every baseline must rank ALL anomalies (target or non-target)
+	// above normals better than chance: AUROC(anomaly vs normal)
+	// noticeably over 0.5. This is the weak bar every published
+	// method clears; target-vs-non-target discrimination is measured
+	// by the harness, not here.
+	b := smallBundle(t)
+	labels := make([]bool, len(b.Test.Kind))
+	for i, k := range b.Test.Kind {
+		labels[i] = k != dataset.KindNormal
+	}
+	for _, f := range fastFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			if f.name == "DPLAN" || f.name == "Dual-MGAN" {
+				t.Skip("RL/GAN baselines are too noisy at test budget for a hard bar")
+			}
+			det := f.new(3)
+			if err := det.Fit(b.Train); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := det.Score(b.Test.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auroc, err := metrics.AUROC(scores, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auroc < 0.6 {
+				t.Fatalf("anomaly-vs-normal AUROC = %.3f, want > 0.6", auroc)
+			}
+		})
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	b := smallBundle(t)
+	for _, f := range fastFactories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			d1 := f.new(5)
+			if err := d1.Fit(b.Train); err != nil {
+				t.Fatal(err)
+			}
+			s1, err := d1.Score(b.Test.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2 := f.new(5)
+			if err := d2.Fit(b.Train); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := d2.Score(b.Test.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("scores differ at %d under equal seeds", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Package common holds small helpers shared by the baseline
+// implementations: ranking, prototypes, and distance utilities.
+package common
+
+import (
+	"math"
+	"sort"
+
+	"targad/internal/mat"
+)
+
+// ArgsortDesc returns indices ordering v from largest to smallest,
+// stable on ties.
+func ArgsortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx
+}
+
+// ArgsortAsc returns indices ordering v from smallest to largest,
+// stable on ties.
+func ArgsortAsc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	return idx
+}
+
+// Mean returns the column-wise mean of the given rows of x (all rows
+// when idx is nil).
+func Mean(x *mat.Matrix, idx []int) []float64 {
+	out := make([]float64, x.Cols)
+	if idx == nil {
+		for i := 0; i < x.Rows; i++ {
+			mat.Axpy(1, x.Row(i), out)
+		}
+		if x.Rows > 0 {
+			mat.Scale(1/float64(x.Rows), out)
+		}
+		return out
+	}
+	for _, i := range idx {
+		mat.Axpy(1, x.Row(i), out)
+	}
+	if len(idx) > 0 {
+		mat.Scale(1/float64(len(idx)), out)
+	}
+	return out
+}
+
+// MinDistTo returns, for each row of x, the Euclidean distance to the
+// nearest row of ref.
+func MinDistTo(x, ref *mat.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		best := math.Inf(1)
+		for j := 0; j < ref.Rows; j++ {
+			if d := mat.SquaredDistance(row, ref.Row(j)); d < best {
+				best = d
+			}
+		}
+		out[i] = math.Sqrt(best)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package deepsad implements DeepSAD (Ruff et al., "Deep
+// semi-supervised anomaly detection", ICLR 2020): an autoencoder
+// pretrains the encoder; the one-class center c is the mean embedding
+// of the unlabeled pool; fine-tuning then minimizes ‖z−c‖² for
+// unlabeled data while penalizing the inverse distance for labeled
+// anomalies, pushing them away from the center. The anomaly score is
+// the squared distance to c.
+package deepsad
+
+import (
+	"errors"
+	"math"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls DeepSAD.
+type Config struct {
+	// EmbedDim is the encoder output width.
+	EmbedDim int
+	// Hidden is the encoder hidden width.
+	Hidden int
+	// PretrainEpochs controls the autoencoder warm start.
+	PretrainEpochs int
+	// Epochs / LR / BatchSize control SAD fine-tuning.
+	Epochs    int
+	LR        float64
+	BatchSize int
+	// Eta weights the labeled-anomaly inverse term.
+	Eta  float64
+	Seed int64
+	// EpochHook, when non-nil, runs after each fine-tuning epoch
+	// (used by the Fig. 3b convergence analysis).
+	EpochHook func(epoch int)
+}
+
+// DefaultConfig returns DeepSAD defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		EmbedDim:       32,
+		Hidden:         64,
+		PretrainEpochs: 10,
+		Epochs:         30,
+		LR:             1e-3,
+		BatchSize:      128,
+		Eta:            1,
+		Seed:           seed,
+	}
+}
+
+// DeepSAD is the fitted model.
+type DeepSAD struct {
+	cfg     Config
+	encoder *nn.MLP
+	center  []float64
+}
+
+// New returns an unfitted DeepSAD model.
+func New(cfg Config) *DeepSAD {
+	if cfg.Epochs == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &DeepSAD{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (m *DeepSAD) Name() string { return "DeepSAD" }
+
+// Fit implements detector.Detector.
+func (m *DeepSAD) Fit(train *dataset.TrainSet) error {
+	x := train.Unlabeled
+	if x == nil || x.Rows == 0 {
+		return errors.New("deepsad: empty training data")
+	}
+	r := rng.New(m.cfg.Seed)
+
+	// Autoencoder pretraining: encoder + throwaway decoder.
+	enc, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, m.cfg.EmbedDim},
+		Hidden: nn.ReLU,
+		Output: nn.Identity,
+		Init:   nn.HeNormal,
+	}, r.Split("enc"))
+	if err != nil {
+		return err
+	}
+	dec, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{m.cfg.EmbedDim, m.cfg.Hidden, x.Cols},
+		Hidden: nn.ReLU,
+		Output: nn.Sigmoid,
+		Init:   nn.HeNormal,
+	}, r.Split("dec"))
+	if err != nil {
+		return err
+	}
+	m.encoder = enc
+	preOpt := nn.NewAdam(m.cfg.LR)
+	bat := nn.NewBatcher(x.Rows, m.cfg.BatchSize, r.Split("prebat"))
+	allParams := append(enc.Params(), dec.Params()...)
+	for e := 0; e < m.cfg.PretrainEpochs; e++ {
+		for b := 0; b < bat.BatchesPerEpoch(); b++ {
+			idx := bat.Next()
+			xb := nn.Gather(x, idx)
+			enc.ZeroGrad()
+			dec.ZeroGrad()
+			z := enc.Forward(xb)
+			rec := dec.Forward(z)
+			_, grad := nn.MSE(rec, xb)
+			gz := dec.Backward(grad)
+			enc.Backward(gz)
+			preOpt.Step(allParams)
+		}
+	}
+
+	// One-class center: mean embedding of the unlabeled pool;
+	// near-zero coordinates are nudged away from zero as in the
+	// reference implementation, preventing a trivial solution.
+	z := enc.Forward(x)
+	m.center = make([]float64, z.Cols)
+	for i := 0; i < z.Rows; i++ {
+		mat.Axpy(1, z.Row(i), m.center)
+	}
+	mat.Scale(1/float64(z.Rows), m.center)
+	for i, c := range m.center {
+		if math.Abs(c) < 0.1 {
+			if c >= 0 {
+				m.center[i] = 0.1
+			} else {
+				m.center[i] = -0.1
+			}
+		}
+	}
+
+	// SAD fine-tuning.
+	opt := nn.NewAdam(m.cfg.LR)
+	sadBat := nn.NewBatcher(x.Rows, m.cfg.BatchSize, r.Split("sadbat"))
+	hasLabeled := train.Labeled != nil && train.Labeled.Rows > 0
+	for e := 0; e < m.cfg.Epochs; e++ {
+		for b := 0; b < sadBat.BatchesPerEpoch(); b++ {
+			idx := sadBat.Next()
+			xb := nn.Gather(x, idx)
+			enc.ZeroGrad()
+			zb := enc.Forward(xb)
+			grad := mat.New(zb.Rows, zb.Cols)
+			n := float64(zb.Rows)
+			for i := 0; i < zb.Rows; i++ {
+				zr, gr := zb.Row(i), grad.Row(i)
+				for j := range zr {
+					gr[j] = 2 * (zr[j] - m.center[j]) / n
+				}
+			}
+			enc.Backward(grad)
+			if hasLabeled {
+				za := enc.Forward(train.Labeled)
+				ga := mat.New(za.Rows, za.Cols)
+				na := float64(za.Rows)
+				for i := 0; i < za.Rows; i++ {
+					zr, gr := za.Row(i), ga.Row(i)
+					d := mat.SquaredDistance(zr, m.center) + 1e-6
+					coef := -2 * m.cfg.Eta / na / (d * d)
+					for j := range zr {
+						gr[j] = coef * (zr[j] - m.center[j])
+					}
+				}
+				enc.Backward(ga)
+			}
+			opt.Step(enc.Params())
+		}
+		if m.cfg.EpochHook != nil {
+			m.cfg.EpochHook(e)
+		}
+	}
+	return nil
+}
+
+// Score implements detector.Detector: ‖φ(x)−c‖².
+func (m *DeepSAD) Score(x *mat.Matrix) ([]float64, error) {
+	if m.encoder == nil {
+		return nil, errors.New("deepsad: not fitted")
+	}
+	z := m.encoder.Forward(x)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = mat.SquaredDistance(z.Row(i), m.center)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package deepsad
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func trainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.4, 0.05)
+	}
+	a := mat.New(nA, d)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0.85, 0.05)
+	}
+	return &dataset.TrainSet{Labeled: a, LabeledType: make([]int, nA), NumTargetTypes: 1, Unlabeled: u}
+}
+
+func TestCenterDistanceOrdering(t *testing.T) {
+	r := rng.New(1)
+	ts := trainSet(r, 300, 15, 5)
+	cfg := DefaultConfig(2)
+	cfg.PretrainEpochs = 4
+	cfg.Epochs = 15
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, 5)
+	for j := 0; j < 5; j++ {
+		probe.Set(0, j, 0.4)  // normal-like
+		probe.Set(1, j, 0.85) // anomaly-like
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly distance %v not above normal %v", s[1], s[0])
+	}
+	if s[0] < 0 || s[1] < 0 {
+		t.Fatal("squared distances must be non-negative")
+	}
+}
+
+func TestCenterNotDegenerate(t *testing.T) {
+	// The SAD center-nudging rule keeps every coordinate away from
+	// zero, preventing the trivial all-zeros solution.
+	r := rng.New(3)
+	ts := trainSet(r, 150, 8, 4)
+	cfg := DefaultConfig(4)
+	cfg.PretrainEpochs = 2
+	cfg.Epochs = 2
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.center {
+		if c > -0.1+1e-12 && c < 0.1-1e-12 {
+			t.Fatalf("center[%d] = %v inside the excluded band", i, c)
+		}
+	}
+}
+
+func TestUnsupervisedFallback(t *testing.T) {
+	// Without labels DeepSAD degrades to DeepSVDD and must still fit.
+	r := rng.New(5)
+	ts := trainSet(r, 120, 0, 4)
+	ts.Labeled = mat.New(0, 4)
+	ts.LabeledType = nil
+	cfg := DefaultConfig(6)
+	cfg.PretrainEpochs = 2
+	cfg.Epochs = 3
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Score(ts.Unlabeled); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDataErrors(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(0, 2)}); err == nil {
+		t.Fatal("empty unlabeled pool must error")
+	}
+}

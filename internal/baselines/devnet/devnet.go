@@ -1,0 +1,145 @@
+// Package devnet implements DevNet (Pang, Shen & van den Hengel,
+// "Deep anomaly detection with deviation networks", KDD 2019): an
+// end-to-end scalar anomaly scorer whose deviation loss contrasts each
+// score against a Gaussian reference prior — unlabeled instances are
+// pulled toward the reference mean, labeled anomalies are pushed at
+// least `a` standard deviations above it.
+package devnet
+
+import (
+	"errors"
+	"math"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls DevNet.
+type Config struct {
+	// Hidden is the scorer's hidden width.
+	Hidden int
+	// Epochs / LR / BatchSize control optimization.
+	Epochs    int
+	LR        float64
+	BatchSize int
+	// Margin is `a`, the deviation margin (paper uses 5).
+	Margin float64
+	// PriorSamples is the size of the Gaussian reference sample
+	// (paper uses 5000).
+	PriorSamples int
+	Seed         int64
+	// EpochHook, when non-nil, runs after each training epoch; the
+	// convergence analysis (Fig. 3b) uses it to score the test set
+	// mid-training.
+	EpochHook func(epoch int)
+}
+
+// DefaultConfig returns DevNet defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Hidden:       64,
+		Epochs:       30,
+		LR:           1e-3,
+		BatchSize:    128,
+		Margin:       5,
+		PriorSamples: 5000,
+		Seed:         seed,
+	}
+}
+
+// DevNet is the fitted model.
+type DevNet struct {
+	cfg         Config
+	net         *nn.MLP
+	muR, sigmaR float64
+}
+
+// New returns an unfitted DevNet model.
+func New(cfg Config) *DevNet {
+	if cfg.Epochs == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &DevNet{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (m *DevNet) Name() string { return "DevNet" }
+
+// Fit implements detector.Detector.
+func (m *DevNet) Fit(train *dataset.TrainSet) error {
+	if train.Labeled == nil || train.Labeled.Rows == 0 {
+		return errors.New("devnet: requires labeled anomalies")
+	}
+	x := train.Unlabeled
+	r := rng.New(m.cfg.Seed)
+
+	// Gaussian reference prior N(0,1): its empirical mean/std over
+	// PriorSamples draws.
+	ref := make([]float64, m.cfg.PriorSamples)
+	r.Split("prior").FillNormal(ref, 0, 1)
+	m.muR = mat.Mean(ref)
+	m.sigmaR = math.Max(mat.Std(ref), 1e-8)
+
+	net, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 1},
+		Hidden: nn.ReLU,
+		Output: nn.Identity,
+		Init:   nn.HeNormal,
+	}, r.Split("net"))
+	if err != nil {
+		return err
+	}
+	m.net = net
+
+	opt := nn.NewAdam(m.cfg.LR)
+	half := m.cfg.BatchSize / 2
+	batU := nn.NewBatcher(x.Rows, half, r.Split("bu"))
+	batA := nn.NewBatcher(train.Labeled.Rows, half, r.Split("ba"))
+	for e := 0; e < m.cfg.Epochs; e++ {
+		for b := 0; b < batU.BatchesPerEpoch(); b++ {
+			iu := batU.Next()
+			ia := batA.Next()
+			xb := dataset.MustVStack(nn.Gather(x, iu), nn.Gather(train.Labeled, ia))
+			net.ZeroGrad()
+			out := net.Forward(xb)
+			grad := mat.New(out.Rows, 1)
+			n := float64(out.Rows)
+			for i := 0; i < out.Rows; i++ {
+				dev := (out.At(i, 0) - m.muR) / m.sigmaR
+				if i < len(iu) {
+					// Unlabeled: L = |dev| ⇒ dL/ds = sign(dev)/σ.
+					if dev > 0 {
+						grad.Set(i, 0, 1/m.sigmaR/n)
+					} else if dev < 0 {
+						grad.Set(i, 0, -1/m.sigmaR/n)
+					}
+				} else if dev < m.cfg.Margin {
+					// Anomaly: L = max(0, a − dev) ⇒ dL/ds = −1/σ.
+					grad.Set(i, 0, -1/m.sigmaR/n)
+				}
+			}
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+		if m.cfg.EpochHook != nil {
+			m.cfg.EpochHook(e)
+		}
+	}
+	return nil
+}
+
+// Score implements detector.Detector: the standardized deviation of
+// the learned score from the Gaussian reference.
+func (m *DevNet) Score(x *mat.Matrix) ([]float64, error) {
+	if m.net == nil {
+		return nil, errors.New("devnet: not fitted")
+	}
+	out := m.net.Forward(x)
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		scores[i] = (out.At(i, 0) - m.muR) / m.sigmaR
+	}
+	return scores, nil
+}

@@ -1,0 +1,82 @@
+package devnet
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// separableTrainSet returns normals near 0.3 and labeled anomalies
+// near 0.9 in every dimension.
+func separableTrainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.3, 0.05)
+	}
+	a := mat.New(nA, d)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0.9, 0.05)
+	}
+	types := make([]int, nA)
+	return &dataset.TrainSet{Labeled: a, LabeledType: types, NumTargetTypes: 1, Unlabeled: u}
+}
+
+func TestDeviationSeparation(t *testing.T) {
+	r := rng.New(1)
+	train := separableTrainSet(r, 400, 20, 6)
+	cfg := DefaultConfig(2)
+	cfg.Epochs = 15
+	m := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Anomaly-like inputs must deviate by ≥ a healthy margin above
+	// normal-like inputs; unlabeled-like inputs should sit near the
+	// reference mean (deviation ≈ 0).
+	probe := mat.New(2, 6)
+	for j := 0; j < 6; j++ {
+		probe.Set(0, j, 0.3)
+		probe.Set(1, j, 0.9)
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly deviation %v not above normal %v", s[1], s[0])
+	}
+	if s[1] < 1 {
+		t.Fatalf("labeled-anomaly pattern deviation %v, want >= 1 sigma", s[1])
+	}
+	if s[0] > 1 {
+		t.Fatalf("normal pattern deviation %v, want < 1 sigma", s[0])
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	m := New(DefaultConfig(1))
+	train := &dataset.TrainSet{
+		Labeled: mat.New(0, 3), NumTargetTypes: 1, Unlabeled: mat.New(5, 3),
+	}
+	if err := m.Fit(train); err == nil {
+		t.Fatal("must require labeled anomalies")
+	}
+}
+
+func TestEpochHookRuns(t *testing.T) {
+	r := rng.New(3)
+	train := separableTrainSet(r, 100, 10, 4)
+	cfg := DefaultConfig(4)
+	cfg.Epochs = 5
+	var count int
+	cfg.EpochHook = func(int) { count++ }
+	m := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("hook ran %d times, want 5", count)
+	}
+}

@@ -1,0 +1,252 @@
+// Package dplan implements DPLAN (Pang et al., "Toward deep
+// supervised anomaly detection: reinforcement learning from partially
+// labeled anomaly data", KDD 2021) as a compact deep Q-learning agent
+// over the anomaly-detection MDP: states are instances, actions are
+// {flag-normal, flag-anomaly}, the reward combines a supervised signal
+// from the labeled anomalies with an unsupervised isolation-based
+// signal, and exploration jumps toward labeled anomalies after an
+// "anomaly" action — preserving the mechanism that lets the agent
+// extend labeled anomaly patterns to unlabeled data.
+package dplan
+
+import (
+	"errors"
+
+	"targad/internal/baselines/iforest"
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls DPLAN.
+type Config struct {
+	// Hidden is the Q-network hidden width.
+	Hidden int
+	// Steps is the number of environment interactions.
+	Steps int
+	// BatchSize is the replay mini-batch size.
+	BatchSize int
+	// ReplaySize bounds the replay buffer.
+	ReplaySize int
+	// LR is the Adam learning rate.
+	LR float64
+	// Gamma is the discount factor.
+	Gamma float64
+	// EpsStart/EpsEnd are the ε-greedy schedule endpoints.
+	EpsStart, EpsEnd float64
+	// TargetSync is how often (steps) the target network copies the
+	// online network.
+	TargetSync int
+	Seed       int64
+}
+
+// DefaultConfig returns DPLAN defaults sized for tabular data.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Hidden:     64,
+		Steps:      6000,
+		BatchSize:  64,
+		ReplaySize: 4096,
+		LR:         1e-3,
+		Gamma:      0.95,
+		EpsStart:   1.0,
+		EpsEnd:     0.1,
+		TargetSync: 200,
+		Seed:       seed,
+	}
+}
+
+// DPLAN is the fitted agent.
+type DPLAN struct {
+	cfg Config
+	q   *nn.MLP
+}
+
+// New returns an unfitted DPLAN agent.
+func New(cfg Config) *DPLAN {
+	if cfg.Steps == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &DPLAN{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (m *DPLAN) Name() string { return "DPLAN" }
+
+type transition struct {
+	state     int  // row index
+	inLabeled bool // whether state indexes the labeled set
+	action    int
+	reward    float64
+	next      int
+	nextLab   bool
+}
+
+// Fit implements detector.Detector.
+func (m *DPLAN) Fit(train *dataset.TrainSet) error {
+	if train.Labeled == nil || train.Labeled.Rows == 0 {
+		return errors.New("dplan: requires labeled anomalies")
+	}
+	x := train.Unlabeled
+	r := rng.New(m.cfg.Seed)
+
+	// Unsupervised intrinsic reward: isolation scores of the
+	// unlabeled pool, scaled to [0,1].
+	forest := iforest.New(iforest.DefaultConfig(r.Int63()))
+	if err := forest.Fit(train); err != nil {
+		return err
+	}
+	iso, err := forest.Score(x)
+	if err != nil {
+		return err
+	}
+	lo, hi := mat.MinMax(iso)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for i := range iso {
+		iso[i] = (iso[i] - lo) / span
+	}
+
+	q, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 2},
+		Hidden: nn.ReLU,
+		Output: nn.Identity,
+		Init:   nn.HeNormal,
+	}, r.Split("q"))
+	if err != nil {
+		return err
+	}
+	target, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 2},
+		Hidden: nn.ReLU,
+		Output: nn.Identity,
+		Init:   nn.HeNormal,
+	}, r.Split("t"))
+	if err != nil {
+		return err
+	}
+	syncNets(target, q)
+	m.q = q
+
+	getRow := func(state int, lab bool) []float64 {
+		if lab {
+			return train.Labeled.Row(state)
+		}
+		return x.Row(state)
+	}
+
+	opt := nn.NewAdam(m.cfg.LR)
+	replay := make([]transition, 0, m.cfg.ReplaySize)
+	pos := 0
+	state, lab := r.Intn(x.Rows), false
+	one := mat.New(1, x.Cols)
+	for step := 0; step < m.cfg.Steps; step++ {
+		eps := m.cfg.EpsStart + (m.cfg.EpsEnd-m.cfg.EpsStart)*float64(step)/float64(m.cfg.Steps)
+		var action int
+		if r.Bernoulli(eps) {
+			action = r.Intn(2)
+		} else {
+			copy(one.Row(0), getRow(state, lab))
+			qv := q.Forward(one)
+			if qv.At(0, 1) > qv.At(0, 0) {
+				action = 1
+			}
+		}
+		// Reward: supervised (+1 for flagging a labeled anomaly, −1
+		// for flagging it normal) plus the intrinsic isolation signal
+		// for unlabeled states.
+		var reward float64
+		if lab {
+			if action == 1 {
+				reward = 1
+			} else {
+				reward = -1
+			}
+		} else {
+			if action == 1 {
+				reward = iso[state] - 0.5
+			} else {
+				reward = 0.5 - iso[state]
+			}
+		}
+		// Transition: an "anomaly" action teleports to the labeled
+		// set half the time (anomaly-biased exploration); otherwise a
+		// random unlabeled instance.
+		var next int
+		var nextLab bool
+		if action == 1 && r.Bernoulli(0.5) {
+			next, nextLab = r.Intn(train.Labeled.Rows), true
+		} else {
+			next, nextLab = r.Intn(x.Rows), false
+		}
+		t := transition{state: state, inLabeled: lab, action: action, reward: reward, next: next, nextLab: nextLab}
+		if len(replay) < m.cfg.ReplaySize {
+			replay = append(replay, t)
+		} else {
+			replay[pos] = t
+			pos = (pos + 1) % m.cfg.ReplaySize
+		}
+		state, lab = next, nextLab
+
+		if len(replay) >= m.cfg.BatchSize && step%2 == 0 {
+			m.replayStep(q, target, replay, getRow, opt, r, x.Cols)
+		}
+		if step%m.cfg.TargetSync == 0 {
+			syncNets(target, q)
+		}
+	}
+	return nil
+}
+
+// replayStep samples a batch and performs one DQN TD(0) update.
+func (m *DPLAN) replayStep(q, target *nn.MLP, replay []transition, getRow func(int, bool) []float64, opt *nn.Adam, r *rng.RNG, dim int) {
+	bs := m.cfg.BatchSize
+	states := mat.New(bs, dim)
+	nexts := mat.New(bs, dim)
+	batch := make([]transition, bs)
+	for i := 0; i < bs; i++ {
+		batch[i] = replay[r.Intn(len(replay))]
+		copy(states.Row(i), getRow(batch[i].state, batch[i].inLabeled))
+		copy(nexts.Row(i), getRow(batch[i].next, batch[i].nextLab))
+	}
+	// TD targets from the frozen network.
+	qNext := target.Forward(nexts).Clone()
+	q.ZeroGrad()
+	qCur := q.Forward(states)
+	grad := mat.New(bs, 2)
+	n := float64(bs)
+	for i := 0; i < bs; i++ {
+		best := qNext.At(i, 0)
+		if qNext.At(i, 1) > best {
+			best = qNext.At(i, 1)
+		}
+		td := batch[i].reward + m.cfg.Gamma*best
+		a := batch[i].action
+		grad.Set(i, a, 2*(qCur.At(i, a)-td)/n)
+	}
+	q.Backward(grad)
+	opt.Step(q.Params())
+}
+
+func syncNets(dst, src *nn.MLP) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		copy(dp[i].Data, sp[i].Data)
+	}
+}
+
+// Score implements detector.Detector: Q(s, flag-anomaly).
+func (m *DPLAN) Score(x *mat.Matrix) ([]float64, error) {
+	if m.q == nil {
+		return nil, errors.New("dplan: not fitted")
+	}
+	qv := m.q.Forward(x)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = qv.At(i, 1)
+	}
+	return out, nil
+}

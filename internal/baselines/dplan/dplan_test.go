@@ -1,0 +1,70 @@
+package dplan
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func trainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.35, 0.05)
+	}
+	a := mat.New(nA, d)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0.9, 0.04)
+	}
+	return &dataset.TrainSet{Labeled: a, LabeledType: make([]int, nA), NumTargetTypes: 1, Unlabeled: u}
+}
+
+func TestQValuesSeparate(t *testing.T) {
+	r := rng.New(1)
+	ts := trainSet(r, 300, 15, 4)
+	cfg := DefaultConfig(2)
+	cfg.Steps = 3000
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, 4)
+	for j := 0; j < 4; j++ {
+		probe.Set(0, j, 0.35)
+		probe.Set(1, j, 0.9)
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q(s, flag-anomaly) for a labeled-anomaly-like state must exceed
+	// the normal-like state's: flagging it earned +1 during training.
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly Q %v not above normal Q %v", s[1], s[0])
+	}
+}
+
+func TestSyncNetsCopies(t *testing.T) {
+	r := rng.New(3)
+	ts := trainSet(r, 64, 4, 3)
+	cfg := DefaultConfig(4)
+	cfg.Steps = 300
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	// Smoke of the internal target-sync path: training must not panic
+	// and the Q network must produce two action values.
+	q := m.q.Forward(mat.New(1, 3))
+	if q.Cols != 2 {
+		t.Fatalf("Q output width %d, want 2 actions", q.Cols)
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+		t.Fatal("must require labeled anomalies")
+	}
+}

@@ -1,0 +1,270 @@
+// Package dualmgan implements Dual-MGAN (Li et al., "Dual-MGAN: an
+// efficient approach for semi-supervised outlier detection with few
+// identified anomalies", TKDD 2022) in compact form. Two cooperating
+// sub-GANs drive one detector: an augmentation GAN synthesizes extra
+// anomalies around the few labeled ones (relieving label scarcity),
+// while a detection GAN synthesizes informative boundary instances;
+// the detector is trained to separate real+generated anomalies from
+// unlabeled data, with high-confidence unlabeled instances actively
+// pseudo-labeled each round.
+package dualmgan
+
+import (
+	"errors"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls Dual-MGAN.
+type Config struct {
+	// LatentDim is the sub-GAN noise size.
+	LatentDim int
+	// Hidden is the network hidden width.
+	Hidden int
+	// Epochs / BatchSize / LR control training.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// AugNoise is the perturbation scale of the anomaly augmenter.
+	AugNoise float64
+	// PseudoFrac is the fraction of unlabeled data pseudo-labeled as
+	// confident normal each epoch (the active-learning component).
+	PseudoFrac float64
+	Seed       int64
+}
+
+// DefaultConfig returns Dual-MGAN defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		LatentDim:  16,
+		Hidden:     64,
+		Epochs:     30,
+		BatchSize:  128,
+		LR:         1e-3,
+		AugNoise:   0.05,
+		PseudoFrac: 0.3,
+		Seed:       seed,
+	}
+}
+
+// DualMGAN is the fitted model.
+type DualMGAN struct {
+	cfg Config
+	det *nn.MLP
+}
+
+// New returns an unfitted Dual-MGAN model.
+func New(cfg Config) *DualMGAN {
+	if cfg.Epochs == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &DualMGAN{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (m *DualMGAN) Name() string { return "Dual-MGAN" }
+
+// Fit implements detector.Detector.
+func (m *DualMGAN) Fit(train *dataset.TrainSet) error {
+	if train.Labeled == nil || train.Labeled.Rows == 0 {
+		return errors.New("dualmgan: requires labeled anomalies")
+	}
+	x := train.Unlabeled
+	r := rng.New(m.cfg.Seed)
+
+	// Sub-GAN 1 (augmentation): generator mapping noise to anomaly
+	// space, trained to fool an anomaly discriminator. For tabular
+	// data we anchor each synthetic anomaly at a random labeled one
+	// and let the generator emit a residual — keeping generations on
+	// the anomaly manifold even with very few labels.
+	gAug, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{m.cfg.LatentDim, m.cfg.Hidden, x.Cols},
+		Hidden: nn.ReLU,
+		Output: nn.Tanh, // residuals in [−1,1], scaled by AugNoise
+		Init:   nn.XavierUniform,
+	}, r.Split("gaug"))
+	if err != nil {
+		return err
+	}
+	dAug, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 1},
+		Hidden: nn.LeakyReLU,
+		Output: nn.Identity,
+		Init:   nn.XavierUniform,
+	}, r.Split("daug"))
+	if err != nil {
+		return err
+	}
+
+	// Detector (the output model), trained jointly.
+	det, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 1},
+		Hidden: nn.ReLU,
+		Output: nn.Identity,
+		Init:   nn.HeNormal,
+	}, r.Split("det"))
+	if err != nil {
+		return err
+	}
+	m.det = det
+
+	gOpt := nn.NewAdam(m.cfg.LR)
+	dOpt := nn.NewAdam(m.cfg.LR)
+	detOpt := nn.NewAdam(m.cfg.LR)
+	half := m.cfg.BatchSize / 2
+	batU := nn.NewBatcher(x.Rows, half, r.Split("bu"))
+	batA := nn.NewBatcher(train.Labeled.Rows, half, r.Split("ba"))
+	noise := r.Split("noise")
+
+	synthesize := func(n int) *mat.Matrix {
+		z := mat.New(n, m.cfg.LatentDim)
+		noise.FillNormal(z.Data, 0, 1)
+		res := gAug.Forward(z)
+		out := mat.New(n, x.Cols)
+		for i := 0; i < n; i++ {
+			base := train.Labeled.Row(noise.Intn(train.Labeled.Rows))
+			dst := out.Row(i)
+			rr := res.Row(i)
+			for j := range dst {
+				v := base[j] + m.cfg.AugNoise*rr[j]
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				dst[j] = v
+			}
+		}
+		return out
+	}
+
+	for e := 0; e < m.cfg.Epochs; e++ {
+		for b := 0; b < batU.BatchesPerEpoch(); b++ {
+			iu := batU.Next()
+			ia := batA.Next()
+			xu := nn.Gather(x, iu)
+			xa := nn.Gather(train.Labeled, ia)
+
+			// Augmentation-GAN discriminator: real anomalies → 1,
+			// synthetic → 0.
+			xg := synthesize(xa.Rows)
+			xb := dataset.MustVStack(xa, xg)
+			targets := make([]float64, xb.Rows)
+			for i := 0; i < xa.Rows; i++ {
+				targets[i] = 1
+			}
+			dAug.ZeroGrad()
+			logits := dAug.Forward(xb)
+			flat := rowVec(logits)
+			_, gradFlat := nn.BCEWithLogits(flat, targets)
+			dAug.Backward(colMat(gradFlat))
+			nn.ClipGrads(dAug.Params(), 5)
+			dOpt.Step(dAug.Params())
+
+			// Augmentation-GAN generator: fool dAug (target 1).
+			gAug.ZeroGrad()
+			dAug.ZeroGrad()
+			z := mat.New(xa.Rows, m.cfg.LatentDim)
+			noise.FillNormal(z.Data, 0, 1)
+			res := gAug.Forward(z)
+			// Rebuild synthetic batch differentiably w.r.t. res.
+			xg2 := mat.New(xa.Rows, x.Cols)
+			for i := 0; i < xa.Rows; i++ {
+				base := xa.Row(i)
+				rr := res.Row(i)
+				dst := xg2.Row(i)
+				for j := range dst {
+					dst[j] = clamp01(base[j] + m.cfg.AugNoise*rr[j])
+				}
+			}
+			gl := dAug.Forward(xg2)
+			ones := make([]float64, xa.Rows)
+			for i := range ones {
+				ones[i] = 1
+			}
+			_, gGradFlat := nn.BCEWithLogits(rowVec(gl), ones)
+			gx := dAug.Backward(colMat(gGradFlat))
+			// d(xg)/d(res) = AugNoise inside the clamp's linear
+			// region; the clamp derivative is treated as 1.
+			mat.Scale(m.cfg.AugNoise, gx.Data)
+			gAug.Backward(gx)
+			nn.ClipGrads(gAug.Params(), 5)
+			gOpt.Step(gAug.Params())
+
+			// Detector: real+synthetic anomalies → 1; unlabeled and
+			// active pseudo-normals → 0. The pseudo-normal pool is
+			// the lowest-scoring fraction of this unlabeled batch —
+			// the active-learning loop in miniature.
+			detIn := dataset.MustVStack(xa, xg, xu)
+			detT := make([]float64, detIn.Rows)
+			detW := make([]float64, detIn.Rows)
+			for i := range detT {
+				if i < xa.Rows+xg.Rows {
+					detT[i] = 1
+					detW[i] = 1
+				} else {
+					detT[i] = 0
+					detW[i] = 0.5
+				}
+			}
+			// Confident normals get full weight.
+			uScores := rowVec(det.Forward(xu))
+			nPseudo := int(m.cfg.PseudoFrac * float64(len(uScores)))
+			for c := 0; c < nPseudo; c++ {
+				best, bi := uScores[0], 0
+				for i, s := range uScores {
+					if s < best {
+						best, bi = s, i
+					}
+				}
+				uScores[bi] = 1e18 // visited
+				detW[xa.Rows+xg.Rows+bi] = 1
+			}
+			det.ZeroGrad()
+			dl := det.Forward(detIn)
+			_, detGradFlat := nn.BCEWithLogits(rowVec(dl), detT)
+			for i := range detGradFlat {
+				detGradFlat[i] *= detW[i]
+			}
+			det.Backward(colMat(detGradFlat))
+			nn.ClipGrads(det.Params(), 5)
+			detOpt.Step(det.Params())
+		}
+	}
+	return nil
+}
+
+func rowVec(m1 *mat.Matrix) []float64 {
+	out := make([]float64, m1.Rows)
+	for i := range out {
+		out[i] = m1.At(i, 0)
+	}
+	return out
+}
+
+func colMat(v []float64) *mat.Matrix {
+	out := mat.New(len(v), 1)
+	copy(out.Data, v)
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Score implements detector.Detector: the detector logit.
+func (m *DualMGAN) Score(x *mat.Matrix) ([]float64, error) {
+	if m.det == nil {
+		return nil, errors.New("dualmgan: not fitted")
+	}
+	return rowVec(m.det.Forward(x)), nil
+}

@@ -1,0 +1,200 @@
+// Package iforest implements Isolation Forest (Liu, Ting & Zhou,
+// "Isolation-based anomaly detection", TKDD 2012) — the unsupervised
+// baseline "iForest" of the paper: anomalies are isolated in fewer
+// random splits, so short average path lengths mean high anomaly
+// scores.
+package iforest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// Config controls forest construction.
+type Config struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SampleSize is ψ, the per-tree subsample (default 256).
+	SampleSize int
+	// Seed drives subsampling and split selection.
+	Seed int64
+}
+
+// DefaultConfig returns the standard iForest parameters.
+func DefaultConfig(seed int64) Config {
+	return Config{Trees: 100, SampleSize: 256, Seed: seed}
+}
+
+type node struct {
+	// Internal node: split on feature at value; children indices.
+	feature     int
+	value       float64
+	left, right int32
+	// External node: size of the training subsample that reached it
+	// (leaf when left < 0).
+	size int32
+}
+
+type tree struct {
+	nodes []node
+}
+
+// Forest is a fitted Isolation Forest.
+type Forest struct {
+	cfg   Config
+	trees []tree
+	cNorm float64 // c(ψ) normalizer
+}
+
+// New returns an unfitted forest.
+func New(cfg Config) *Forest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 256
+	}
+	return &Forest{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (f *Forest) Name() string { return "iForest" }
+
+// Fit builds the ensemble on the unlabeled pool (iForest is
+// unsupervised; labeled anomalies are ignored).
+func (f *Forest) Fit(train *dataset.TrainSet) error {
+	x := train.Unlabeled
+	if x == nil || x.Rows == 0 {
+		return errors.New("iforest: empty training data")
+	}
+	psi := f.cfg.SampleSize
+	if psi > x.Rows {
+		psi = x.Rows
+	}
+	heightLimit := int(math.Ceil(math.Log2(float64(psi))))
+	r := rng.New(f.cfg.Seed)
+	f.trees = make([]tree, f.cfg.Trees)
+	for t := range f.trees {
+		tr := r.SplitN("tree", t)
+		idx := tr.Sample(x.Rows, psi)
+		f.trees[t] = buildTree(x, idx, heightLimit, tr)
+	}
+	f.cNorm = avgPathLength(psi)
+	return nil
+}
+
+func buildTree(x *mat.Matrix, idx []int, heightLimit int, r *rng.RNG) tree {
+	t := tree{}
+	t.grow(x, idx, 0, heightLimit, r)
+	return t
+}
+
+// grow appends the subtree for idx and returns its root node index.
+func (t *tree) grow(x *mat.Matrix, idx []int, depth, limit int, r *rng.RNG) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{left: -1, size: int32(len(idx))})
+	if depth >= limit || len(idx) <= 1 {
+		return self
+	}
+	// Pick a feature with spread; give up after a few attempts (the
+	// subsample may be constant).
+	var feat int
+	var lo, hi float64
+	found := false
+	for attempt := 0; attempt < 8; attempt++ {
+		feat = r.Intn(x.Cols)
+		lo, hi = x.At(idx[0], feat), x.At(idx[0], feat)
+		for _, i := range idx[1:] {
+			v := x.At(i, feat)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return self
+	}
+	split := r.Uniform(lo, hi)
+	var left, right []int
+	for _, i := range idx {
+		if x.At(i, feat) < split {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return self
+	}
+	l := t.grow(x, left, depth+1, limit, r)
+	rr := t.grow(x, right, depth+1, limit, r)
+	t.nodes[self].feature = feat
+	t.nodes[self].value = split
+	t.nodes[self].left = l
+	t.nodes[self].right = rr
+	return self
+}
+
+// pathLength returns the isolation path length of row within the tree,
+// including the c(size) adjustment at truncated leaves.
+func (t *tree) pathLength(row []float64) float64 {
+	var depth float64
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.left < 0 {
+			return depth + avgPathLength(int(n.size))
+		}
+		if row[n.feature] < n.value {
+			i = n.left
+		} else {
+			i = n.right
+		}
+		depth++
+	}
+}
+
+// avgPathLength is c(n), the expected path length of an unsuccessful
+// BST search over n instances.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649 // harmonic via Euler–Mascheroni
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Score implements detector.Detector: s(x) = 2^(−E[h(x)]/c(ψ)).
+func (f *Forest) Score(x *mat.Matrix) ([]float64, error) {
+	if f.trees == nil {
+		return nil, errors.New("iforest: not fitted")
+	}
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var sum float64
+		for t := range f.trees {
+			sum += f.trees[t].pathLength(row)
+		}
+		mean := sum / float64(len(f.trees))
+		out[i] = math.Pow(2, -mean/f.cNorm)
+	}
+	return out, nil
+}
+
+// String describes the fitted forest.
+func (f *Forest) String() string {
+	return fmt.Sprintf("iForest(trees=%d, psi=%d)", f.cfg.Trees, f.cfg.SampleSize)
+}

@@ -1,0 +1,106 @@
+package iforest
+
+import (
+	"math"
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(0) != 0 || avgPathLength(1) != 0 {
+		t.Fatal("c(n<=1) must be 0")
+	}
+	// c(2) = 2·H(1) − 2·(1/2) = 2·0.5772… + … ; check against the
+	// published closed form 2(ln(n−1)+γ) − 2(n−1)/n at n = 2.
+	want := 2*(math.Log(1)+0.5772156649) - 1
+	if got := avgPathLength(2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("c(2) = %v, want %v", got, want)
+	}
+	// Monotone increasing in n.
+	prev := avgPathLength(2)
+	for n := 3; n < 1000; n *= 2 {
+		cur := avgPathLength(n)
+		if cur <= prev {
+			t.Fatalf("c(%d) = %v not above c(previous) = %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestForestSeparatesOutlier(t *testing.T) {
+	r := rng.New(1)
+	// Dense cluster + one obvious outlier appended to the score set.
+	n := 256
+	x := mat.New(n, 4)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, r.Normal(0.5, 0.02))
+		}
+	}
+	f := New(Config{Trees: 50, SampleSize: 128, Seed: 3})
+	if err := f.Fit(&dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, 4)
+	copy(probe.Row(0), x.Row(0)) // inlier
+	for j := 0; j < 4; j++ {
+		probe.Set(1, j, 0.99) // far outlier
+	}
+	s, err := f.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("outlier score %v not above inlier %v", s[1], s[0])
+	}
+	// iForest scores live in (0, 1).
+	for _, v := range s {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("score %v outside (0,1)", v)
+		}
+	}
+}
+
+func TestForestConstantData(t *testing.T) {
+	// Degenerate constant data must not loop or divide by zero.
+	x := mat.New(64, 3)
+	for i := range x.Data {
+		x.Data[i] = 0.5
+	}
+	f := New(Config{Trees: 10, SampleSize: 32, Seed: 1})
+	if err := f.Fit(&dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Score(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if math.IsNaN(v) {
+			t.Fatal("NaN score on constant data")
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	f := New(Config{})
+	if err := f.Fit(&dataset.TrainSet{Unlabeled: mat.New(0, 2), NumTargetTypes: 1, Labeled: mat.New(0, 2)}); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := f.Score(mat.New(1, 2)); err == nil {
+		t.Fatal("unfitted forest must error")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	f := New(Config{})
+	if f.cfg.Trees != 100 || f.cfg.SampleSize != 256 {
+		t.Fatalf("defaults not applied: %+v", f.cfg)
+	}
+	if got := f.String(); got != "iForest(trees=100, psi=256)" {
+		t.Fatalf("String = %q", got)
+	}
+}

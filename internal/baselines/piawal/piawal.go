@@ -1,0 +1,179 @@
+// Package piawal implements PIA-WAL (Zong, Zhou, Pavlovski & Qian,
+// "Peripheral instance augmentation for end-to-end anomaly detection
+// using weighted adversarial learning", DASFAA 2022) in compact form:
+// a weighted generator synthesizes *peripheral* normal instances —
+// points near the normal boundary that real data under-covers — while
+// a discriminator doubling as the anomaly scorer is trained to rank
+// labeled anomalies above unlabeled data and above the generated
+// periphery.
+package piawal
+
+import (
+	"errors"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// Config controls PIA-WAL.
+type Config struct {
+	// LatentDim is the generator's noise dimensionality.
+	LatentDim int
+	// Hidden is the width of both networks' hidden layers.
+	Hidden int
+	// Epochs / BatchSize / LR control adversarial training.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+}
+
+// DefaultConfig returns PIA-WAL defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		LatentDim: 16,
+		Hidden:    64,
+		Epochs:    30,
+		BatchSize: 128,
+		LR:        1e-3,
+		Seed:      seed,
+	}
+}
+
+// PIAWAL is the fitted model.
+type PIAWAL struct {
+	cfg Config
+	d   *nn.MLP // discriminator / anomaly scorer
+}
+
+// New returns an unfitted PIA-WAL model.
+func New(cfg Config) *PIAWAL {
+	if cfg.Epochs == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &PIAWAL{cfg: cfg}
+}
+
+// Name implements detector.Detector.
+func (m *PIAWAL) Name() string { return "PIA-WAL" }
+
+// Fit implements detector.Detector.
+func (m *PIAWAL) Fit(train *dataset.TrainSet) error {
+	if train.Labeled == nil || train.Labeled.Rows == 0 {
+		return errors.New("piawal: requires labeled anomalies")
+	}
+	x := train.Unlabeled
+	r := rng.New(m.cfg.Seed)
+
+	g, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{m.cfg.LatentDim, m.cfg.Hidden, x.Cols},
+		Hidden: nn.ReLU,
+		Output: nn.Sigmoid, // data lives in [0,1]
+		Init:   nn.XavierUniform,
+	}, r.Split("g"))
+	if err != nil {
+		return err
+	}
+	d, err := nn.NewMLP(nn.MLPConfig{
+		Dims:   []int{x.Cols, m.cfg.Hidden, 1},
+		Hidden: nn.LeakyReLU,
+		Output: nn.Identity,
+		Init:   nn.XavierUniform,
+	}, r.Split("d"))
+	if err != nil {
+		return err
+	}
+	m.d = d
+
+	dOpt := nn.NewAdam(m.cfg.LR)
+	gOpt := nn.NewAdam(m.cfg.LR)
+	half := m.cfg.BatchSize / 2
+	batU := nn.NewBatcher(x.Rows, half, r.Split("bu"))
+	batA := nn.NewBatcher(train.Labeled.Rows, half, r.Split("ba"))
+	noise := r.Split("noise")
+	for e := 0; e < m.cfg.Epochs; e++ {
+		for b := 0; b < batU.BatchesPerEpoch(); b++ {
+			iu := batU.Next()
+			ia := batA.Next()
+			xu := nn.Gather(x, iu)
+			xa := nn.Gather(train.Labeled, ia)
+
+			// --- Discriminator step: anomalies → 1, unlabeled → 0,
+			// generated periphery → 0 but with a reduced weight, so
+			// the boundary tightens around the periphery without
+			// overpowering real data.
+			z := mat.New(half, m.cfg.LatentDim)
+			noise.FillNormal(z.Data, 0, 1)
+			xg := g.Forward(z).Clone()
+
+			xb := dataset.MustVStack(xa, xu, xg)
+			targets := make([]float64, xb.Rows)
+			w := make([]float64, xb.Rows)
+			for i := range targets {
+				switch {
+				case i < xa.Rows:
+					targets[i] = 1
+					w[i] = 1
+				case i < xa.Rows+xu.Rows:
+					targets[i] = 0
+					w[i] = 1
+				default:
+					targets[i] = 0
+					w[i] = 0.5
+				}
+			}
+			d.ZeroGrad()
+			logits := d.Forward(xb)
+			flat := make([]float64, xb.Rows)
+			for i := range flat {
+				flat[i] = logits.At(i, 0)
+			}
+			_, gradFlat := nn.BCEWithLogits(flat, targets)
+			grad := mat.New(xb.Rows, 1)
+			for i, gv := range gradFlat {
+				grad.Set(i, 0, gv*w[i])
+			}
+			d.Backward(grad)
+			nn.ClipGrads(d.Params(), 5)
+			dOpt.Step(d.Params())
+
+			// --- Generator step: weighted adversarial objective —
+			// generated instances should look normal to D
+			// (target 0) while sitting at the normal periphery,
+			// i.e. D's output near the decision midpoint. We realize
+			// it by regressing D(G(z)) toward a small positive
+			// margin rather than the normal extreme.
+			g.ZeroGrad()
+			d.ZeroGrad()
+			z2 := mat.New(half, m.cfg.LatentDim)
+			noise.FillNormal(z2.Data, 0, 1)
+			xg2 := g.Forward(z2)
+			dg := d.Forward(xg2)
+			gGrad := mat.New(half, 1)
+			const periphery = 0.0 // logit 0 ⇔ P(anomaly) = 0.5: the boundary
+			for i := 0; i < half; i++ {
+				gGrad.Set(i, 0, 2*(dg.At(i, 0)-periphery)/float64(half))
+			}
+			gx := d.Backward(gGrad)
+			g.Backward(gx)
+			nn.ClipGrads(g.Params(), 5)
+			gOpt.Step(g.Params())
+		}
+	}
+	return nil
+}
+
+// Score implements detector.Detector: the discriminator logit.
+func (m *PIAWAL) Score(x *mat.Matrix) ([]float64, error) {
+	if m.d == nil {
+		return nil, errors.New("piawal: not fitted")
+	}
+	out := m.d.Forward(x)
+	scores := make([]float64, x.Rows)
+	for i := range scores {
+		scores[i] = out.At(i, 0)
+	}
+	return scores, nil
+}

@@ -1,0 +1,68 @@
+package piawal
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func trainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = clampP(r.Normal(0.35, 0.05))
+	}
+	a := mat.New(nA, d)
+	for i := range a.Data {
+		a.Data[i] = clampP(r.Normal(0.9, 0.04))
+	}
+	return &dataset.TrainSet{Labeled: a, LabeledType: make([]int, nA), NumTargetTypes: 1, Unlabeled: u}
+}
+
+func clampP(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestDiscriminatorOrdering(t *testing.T) {
+	r := rng.New(1)
+	ts := trainSet(r, 400, 25, 5)
+	cfg := DefaultConfig(2)
+	cfg.Epochs = 30
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, 5)
+	for j := 0; j < 5; j++ {
+		probe.Set(0, j, 0.35)
+		probe.Set(1, j, 0.9)
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly logit %v not above normal %v", s[1], s[0])
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+		t.Fatal("must require labeled anomalies")
+	}
+}
+
+func TestUnfittedScoreErrors(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if _, err := m.Score(mat.New(1, 2)); err == nil {
+		t.Fatal("unfitted model must error")
+	}
+}

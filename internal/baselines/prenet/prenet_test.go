@@ -1,0 +1,72 @@
+package prenet
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func trainSet(r *rng.RNG, nU, nA, d int) *dataset.TrainSet {
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.35, 0.05)
+	}
+	a := mat.New(nA, d)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0.85, 0.05)
+	}
+	return &dataset.TrainSet{Labeled: a, LabeledType: make([]int, nA), NumTargetTypes: 1, Unlabeled: u}
+}
+
+func TestRelationOrdering(t *testing.T) {
+	r := rng.New(1)
+	ts := trainSet(r, 300, 20, 5)
+	cfg := DefaultConfig(2)
+	cfg.Steps = 800
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, 5)
+	for j := 0; j < 5; j++ {
+		probe.Set(0, j, 0.35) // unlabeled-like
+		probe.Set(1, j, 0.85) // anomaly-like
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An anomaly paired with anomaly anchors approaches YAA and with
+	// unlabeled anchors approaches YAU; a normal approaches YAU / YUU.
+	// Mean relation of the anomaly must exceed the normal's.
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly relation %v not above normal %v", s[1], s[0])
+	}
+}
+
+func TestAnchorsBounded(t *testing.T) {
+	r := rng.New(3)
+	ts := trainSet(r, 40, 5, 3)
+	cfg := DefaultConfig(4)
+	cfg.Steps = 50
+	cfg.ScorePairs = 64 // more than available; must clamp
+	m := New(cfg)
+	if err := m.Fit(ts); err != nil {
+		t.Fatal(err)
+	}
+	if m.anchorsA.Rows != 5 {
+		t.Fatalf("anomaly anchors = %d, want clamp to 5", m.anchorsA.Rows)
+	}
+	if m.anchorsU.Rows != 40 {
+		t.Fatalf("unlabeled anchors = %d, want clamp to 40", m.anchorsU.Rows)
+	}
+}
+
+func TestRequiresLabels(t *testing.T) {
+	m := New(DefaultConfig(1))
+	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+		t.Fatal("must require labeled anomalies")
+	}
+}

@@ -1,0 +1,73 @@
+package pumad
+
+import (
+	"testing"
+
+	"targad/internal/baselines/common"
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func TestReliableNegativeFilter(t *testing.T) {
+	// Reliable negatives are the unlabeled instances FARTHEST from
+	// labeled anomalies; confirm the filter direction via the helper
+	// the implementation uses.
+	labeled, _ := mat.FromRows([][]float64{{0.9, 0.9}})
+	unlabeled, _ := mat.FromRows([][]float64{
+		{0.88, 0.9}, // near the anomaly — unreliable
+		{0.1, 0.1},  // far — reliable negative
+		{0.5, 0.5},
+	})
+	dist := common.MinDistTo(unlabeled, labeled)
+	order := common.ArgsortDesc(dist)
+	if order[0] != 1 {
+		t.Fatalf("farthest unlabeled should be row 1, got %d", order[0])
+	}
+	if order[len(order)-1] != 0 {
+		t.Fatalf("nearest unlabeled should rank last, got %d", order[len(order)-1])
+	}
+}
+
+func TestPrototypeOrdering(t *testing.T) {
+	r := rng.New(1)
+	nU, d := 200, 4
+	u := mat.New(nU, d)
+	for i := range u.Data {
+		u.Data[i] = r.Normal(0.3, 0.05)
+	}
+	a := mat.New(12, d)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0.9, 0.05)
+	}
+	train := &dataset.TrainSet{Labeled: a, LabeledType: make([]int, 12), NumTargetTypes: 1, Unlabeled: u}
+	cfg := DefaultConfig(2)
+	cfg.Epochs = 10
+	m := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	probe := mat.New(2, d)
+	for j := 0; j < d; j++ {
+		probe.Set(0, j, 0.3) // normal-like → near normal prototype
+		probe.Set(1, j, 0.9) // anomaly-like → near anomaly prototype
+	}
+	s, err := m.Score(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("anomaly score %v not above normal %v", s[1], s[0])
+	}
+}
+
+func TestColMean(t *testing.T) {
+	z, _ := mat.FromRows([][]float64{{1, 3}, {3, 5}})
+	mean := colMean(z)
+	if mean[0] != 2 || mean[1] != 4 {
+		t.Fatalf("colMean = %v", mean)
+	}
+	if got := colMean(mat.New(0, 2)); got[0] != 0 {
+		t.Fatalf("empty colMean = %v", got)
+	}
+}

@@ -1,0 +1,66 @@
+package repen
+
+import (
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func TestLesinnScoresOutlierHighest(t *testing.T) {
+	r := rng.New(1)
+	n := 100
+	x := mat.New(n, 3)
+	for i := 0; i < n-1; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.Normal(0.5, 0.02))
+		}
+	}
+	// Last row is a far outlier.
+	for j := 0; j < 3; j++ {
+		x.Set(n-1, j, 0.99)
+	}
+	scores := lesinnScores(x, 8, 16, r)
+	best, _ := mat.ArgMax(scores)
+	if best != n-1 {
+		t.Fatalf("outlier not top-scored: argmax = %d", best)
+	}
+}
+
+func TestLesinnSubsampleClamp(t *testing.T) {
+	r := rng.New(2)
+	x := mat.New(4, 2)
+	r.FillUniform(x.Data, 0, 1)
+	// Subsample larger than the population must clamp, not panic.
+	scores := lesinnScores(x, 100, 4, r)
+	if len(scores) != 4 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+}
+
+func TestREPENEmbeddingShape(t *testing.T) {
+	r := rng.New(3)
+	x := mat.New(120, 6)
+	r.FillUniform(x.Data, 0, 1)
+	cfg := DefaultConfig(4)
+	cfg.Epochs = 3
+	cfg.EmbedDim = 5
+	m := New(cfg)
+	train := &dataset.TrainSet{Labeled: mat.New(0, 6), NumTargetTypes: 1, Unlabeled: x}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	z := m.net.Forward(x)
+	if z.Cols != 5 {
+		t.Fatalf("embedding width %d, want 5", z.Cols)
+	}
+}
+
+func TestREPENTooFewInstances(t *testing.T) {
+	m := New(DefaultConfig(1))
+	train := &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(2, 2)}
+	if err := m.Fit(train); err == nil {
+		t.Fatal("tiny pool must error")
+	}
+}

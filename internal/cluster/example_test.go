@@ -1,0 +1,22 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"targad/internal/cluster"
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func ExampleKMeans() {
+	// Two well-separated groups of 2-D points.
+	x, _ := mat.FromRows([][]float64{
+		{0.1, 0.1}, {0.12, 0.09}, {0.11, 0.11},
+		{0.9, 0.9}, {0.88, 0.91}, {0.91, 0.89},
+	})
+	res, _ := cluster.KMeans(x, cluster.Config{K: 2}, rng.New(1))
+	same := res.Assignment[0] == res.Assignment[1] && res.Assignment[1] == res.Assignment[2]
+	split := res.Assignment[0] != res.Assignment[3]
+	fmt.Println(same, split)
+	// Output: true true
+}

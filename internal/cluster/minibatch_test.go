@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+
+	"targad/internal/rng"
+)
+
+func TestMiniBatchRecoversBlobs(t *testing.T) {
+	r := rng.New(1)
+	x, truth := threeBlobs(600, r)
+	res, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 80}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purity: each true blob maps overwhelmingly to one cluster.
+	counts := map[int]map[int]int{}
+	for i, a := range res.Assignment {
+		if counts[truth[i]] == nil {
+			counts[truth[i]] = map[int]int{}
+		}
+		counts[truth[i]][a]++
+	}
+	for blob, m := range counts {
+		best, total := 0, 0
+		for _, c := range m {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best)/float64(total) < 0.95 {
+			t.Fatalf("blob %d impure: %v", blob, m)
+		}
+	}
+}
+
+func TestMiniBatchInertiaNearLloyd(t *testing.T) {
+	r := rng.New(2)
+	x, _ := threeBlobs(600, r)
+	lloyd, err := KMeans(x, Config{K: 3}, r.Split("lloyd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 120}, r.Split("mb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Inertia > lloyd.Inertia*1.5 {
+		t.Fatalf("mini-batch inertia %v far above Lloyd %v", mb.Inertia, lloyd.Inertia)
+	}
+}
+
+func TestMiniBatchValidation(t *testing.T) {
+	r := rng.New(3)
+	x, _ := threeBlobs(30, r)
+	if _, err := MiniBatchKMeans(x, MiniBatchConfig{K: 0}, r); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := MiniBatchKMeans(x, MiniBatchConfig{K: 31}, r); err == nil {
+		t.Fatal("k>n must error")
+	}
+	// Batch size beyond n clamps.
+	res, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 10_000, Iters: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 30 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+}

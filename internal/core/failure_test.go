@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+)
+
+// Failure-injection tests: corrupted or adversarial inputs must fail
+// loudly at Fit/Score time, never poison a training run silently.
+
+func TestFitRejectsDimensionalityMismatch(t *testing.T) {
+	b := testBundle(t, 20)
+	bad := &dataset.TrainSet{
+		Labeled:        mat.New(4, b.Train.Dim()+1), // wrong width
+		LabeledType:    []int{0, 0, 1, 1},
+		NumTargetTypes: 2,
+		Unlabeled:      b.Train.Unlabeled,
+	}
+	m := New(testConfig(), 1)
+	if err := m.Fit(bad); err == nil {
+		t.Fatal("mismatched labeled width must error")
+	}
+}
+
+func TestScoreRejectsWrongWidth(t *testing.T) {
+	b := testBundle(t, 21)
+	m := New(testConfig(), 1)
+	if err := m.Fit(b.Train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Score(mat.New(3, b.Train.Dim()+2)); err == nil {
+		t.Fatal("wrong score width must error")
+	}
+	if _, err := m.Identify(mat.New(3, b.Train.Dim()+2), MSP); err == nil {
+		t.Fatal("wrong identify width must error")
+	}
+}
+
+func TestFitSurvivesConstantFeatures(t *testing.T) {
+	// Real exports often contain all-constant columns; training must
+	// neither NaN out nor crash.
+	b := testBundle(t, 22)
+	for i := 0; i < b.Train.Unlabeled.Rows; i++ {
+		b.Train.Unlabeled.Set(i, 0, 0.5)
+	}
+	for i := 0; i < b.Train.Labeled.Rows; i++ {
+		b.Train.Labeled.Set(i, 0, 0.5)
+	}
+	m := New(testConfig(), 1)
+	if err := m.Fit(b.Train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Score(b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("constant feature produced invalid score %v", v)
+		}
+	}
+}
+
+func TestFitSurvivesDuplicateUnlabeledRows(t *testing.T) {
+	// Heavy duplication (a common data-pipeline bug and the KDDCUP99
+	// dataset's signature quirk) must not break clustering or AEs.
+	b := testBundle(t, 23)
+	u := b.Train.Unlabeled
+	for i := 1; i < u.Rows/2; i++ {
+		copy(u.Row(i), u.Row(0))
+	}
+	m := New(testConfig(), 1)
+	if err := m.Fit(b.Train); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitSingleTargetType(t *testing.T) {
+	// m = 1 degenerates the OE pseudo-label to (1, 0, …, 0); the
+	// pipeline must stay well-defined.
+	b := testBundle(t, 24)
+	keep := 0
+	for i, ty := range b.Train.LabeledType {
+		if ty == 0 {
+			copy(b.Train.Labeled.Row(keep), b.Train.Labeled.Row(i))
+			keep++
+		}
+	}
+	single := &dataset.TrainSet{
+		Labeled:        &mat.Matrix{Rows: keep, Cols: b.Train.Dim(), Data: b.Train.Labeled.Data[:keep*b.Train.Dim()]},
+		LabeledType:    make([]int, keep),
+		NumTargetTypes: 1,
+		Unlabeled:      b.Train.Unlabeled,
+	}
+	m := New(testConfig(), 1)
+	if err := m.Fit(single); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Score(b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("m=1 score %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestFitTinyUnlabeledPool(t *testing.T) {
+	// A pool barely larger than k must still train (clusters of size
+	// one, candidate set of size one).
+	b := testBundle(t, 25)
+	tiny := &dataset.TrainSet{
+		Labeled:        b.Train.Labeled,
+		LabeledType:    b.Train.LabeledType,
+		NumTargetTypes: b.Train.NumTargetTypes,
+		Unlabeled:      nGatherRows(b.Train.Unlabeled, 12),
+	}
+	cfg := testConfig()
+	cfg.K = 2
+	m := New(cfg, 1)
+	if err := m.Fit(tiny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nGatherRows(x *mat.Matrix, n int) *mat.Matrix {
+	out := mat.New(n, x.Cols)
+	copy(out.Data, x.Data[:n*x.Cols])
+	return out
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/metrics"
+)
+
+// OODStrategy selects how Identify splits anomalies into target vs
+// non-target (Section III-C / Table IV). Every strategy is reduced to
+// an "ID-ness" score — larger means more in-distribution, i.e. more
+// likely a known (target) anomaly type when the instance is anomalous.
+type OODStrategy int
+
+// The three strategies the paper evaluates.
+const (
+	// MSP uses the maximum softmax probability (Hendrycks & Gimpel).
+	MSP OODStrategy = iota
+	// ES uses the negative free energy −E(x) = logsumexp(logits)
+	// (Liu et al.).
+	ES
+	// ED uses the energy discrepancy logsumexp(logits) − mean(logits),
+	// which keeps the energy's resistance to overconfidence while
+	// accounting for the overall logit distribution (He et al.).
+	ED
+)
+
+// String returns the paper's abbreviation for the strategy.
+func (s OODStrategy) String() string {
+	switch s {
+	case MSP:
+		return "MSP"
+	case ES:
+		return "ES"
+	case ED:
+		return "ED"
+	default:
+		return fmt.Sprintf("OODStrategy(%d)", int(s))
+	}
+}
+
+// OODStrategies lists all strategies in the paper's column order.
+func OODStrategies() []OODStrategy { return []OODStrategy{MSP, ES, ED} }
+
+// idness computes the strategy's ID-ness score for one logit row.
+func idness(s OODStrategy, logits []float64) float64 {
+	switch s {
+	case MSP:
+		probs := make([]float64, len(logits))
+		mat.Softmax(probs, logits)
+		_, p := mat.ArgMax(probs)
+		return p
+	case ES:
+		return mat.LogSumExp(logits)
+	case ED:
+		return mat.LogSumExp(logits) - mat.Mean(logits)
+	default:
+		panic("targad: unknown OOD strategy")
+	}
+}
+
+// calibrateIdentification derives, per strategy, the threshold that
+// separates target anomalies from non-target anomalies among
+// anomalous-looking instances. It places the cut midway between the
+// median ID-ness of the labeled target anomalies and the
+// weight-weighted mean ID-ness of the non-target anomaly candidates —
+// the Eq. (4) weights concentrate on genuine non-target anomalies, so
+// the noisy normals and targets hiding in D_U^A barely move the
+// estimate. Both sides are available at training time; no labeled
+// non-target data is needed.
+func (mo *Model) calibrateIdentification(labeled, cand *mat.Matrix, weights []float64) {
+	if labeled.Rows == 0 || cand.Rows == 0 {
+		return
+	}
+	lLog := mo.clf.Forward(labeled)
+	cLog := mo.clf.Forward(cand)
+	for _, s := range OODStrategies() {
+		lv := make([]float64, lLog.Rows)
+		for i := range lv {
+			lv[i] = idness(s, lLog.Row(i))
+		}
+		var wSum, vSum float64
+		for i := 0; i < cLog.Rows; i++ {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			wSum += w
+			vSum += w * idness(s, cLog.Row(i))
+		}
+		candCenter := vSum
+		if wSum > 0 {
+			candCenter = vSum / wSum
+		}
+		mo.idThreshold[s] = (median(lv) + candCenter) / 2
+	}
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	idx := argsortDesc(v)
+	n := len(idx)
+	if n%2 == 1 {
+		return v[idx[n/2]]
+	}
+	return (v[idx[n/2-1]] + v[idx[n/2]]) / 2
+}
+
+// tuneIdentifyOnValidation refines the per-strategy thresholds on a
+// labeled validation split (Section IV-C tunes every hyperparameter on
+// validation, and the validation sets of Table I contain labeled
+// non-target anomalies). For each strategy it sweeps the quantiles of
+// the validation ID-ness distribution and keeps the threshold with the
+// best macro F1 over the three-way classification. It requires minimal
+// support of each class to avoid fitting noise.
+func (mo *Model) tuneIdentifyOnValidation(v *dataset.EvalSet) {
+	if v == nil || mo.clf == nil {
+		return
+	}
+	var nT, nNT int
+	for _, k := range v.Kind {
+		switch k {
+		case dataset.KindTarget:
+			nT++
+		case dataset.KindNonTarget:
+			nNT++
+		}
+	}
+	if nT < 5 || nNT < 5 {
+		return
+	}
+	logits := mo.clf.Forward(v.X)
+	actual := make([]int, len(v.Kind))
+	for i, k := range v.Kind {
+		actual[i] = int(k)
+	}
+	normalCut := float64(mo.k) / float64(mo.m+mo.k)
+	probs := make([]float64, mo.m+mo.k)
+	for _, s := range OODStrategies() {
+		// Candidate thresholds: quantiles of the anomalous rows'
+		// ID-ness values.
+		var vals []float64
+		anomalous := make([]bool, v.X.Rows)
+		ids := make([]float64, v.X.Rows)
+		for i := 0; i < v.X.Rows; i++ {
+			row := logits.Row(i)
+			mat.Softmax(probs, row)
+			var pNormal float64
+			for j := mo.m; j < mo.m+mo.k; j++ {
+				pNormal += probs[j]
+			}
+			anomalous[i] = pNormal <= normalCut
+			ids[i] = idness(s, row)
+			if anomalous[i] {
+				vals = append(vals, ids[i])
+			}
+		}
+		if len(vals) < 4 {
+			continue
+		}
+		order := argsortDesc(vals)
+		bestThr, bestF1 := mo.idThreshold[s], -1.0
+		for q := 1; q < 20; q++ {
+			thr := vals[order[len(order)*q/20]]
+			pred := make([]int, v.X.Rows)
+			for i := range pred {
+				switch {
+				case !anomalous[i]:
+					pred[i] = int(dataset.KindNormal)
+				case ids[i] >= thr:
+					pred[i] = int(dataset.KindTarget)
+				default:
+					pred[i] = int(dataset.KindNonTarget)
+				}
+			}
+			conf, err := metrics.NewConfusion([]string{"n", "t", "nt"}, actual, pred)
+			if err != nil {
+				continue
+			}
+			if f1 := conf.Report().MacroAvg.F1; f1 > bestF1 {
+				bestF1 = f1
+				bestThr = thr
+			}
+		}
+		if bestF1 >= 0 {
+			mo.idThreshold[s] = bestThr
+		}
+	}
+}
+
+// IdentifyThreshold returns the calibrated ID-ness threshold for a
+// strategy (and whether calibration produced one).
+func (mo *Model) IdentifyThreshold(s OODStrategy) (float64, bool) {
+	t, ok := mo.idThreshold[s]
+	return t, ok
+}
+
+// Identify performs the three-way classification of Section III-C:
+// an instance is normal when Σ_{j=m+1..m+k} p_j > k/(m+k); otherwise
+// it is anomalous and the OOD strategy splits it into target
+// (ID-ness above the calibrated threshold) or non-target.
+func (mo *Model) Identify(x *mat.Matrix, strat OODStrategy) ([]dataset.Kind, error) {
+	logits, err := mo.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	thr, ok := mo.idThreshold[strat]
+	if !ok {
+		return nil, fmt.Errorf("targad: strategy %s not calibrated (model trained without candidates?)", strat)
+	}
+	normalCut := float64(mo.k) / float64(mo.m+mo.k)
+	out := make([]dataset.Kind, x.Rows)
+	probs := make([]float64, mo.m+mo.k)
+	for i := 0; i < x.Rows; i++ {
+		row := logits.Row(i)
+		mat.Softmax(probs, row)
+		var pNormal float64
+		for j := mo.m; j < mo.m+mo.k; j++ {
+			pNormal += probs[j]
+		}
+		switch {
+		case pNormal > normalCut:
+			out[i] = dataset.KindNormal
+		case idness(strat, row) >= thr:
+			out[i] = dataset.KindTarget
+		default:
+			out[i] = dataset.KindNonTarget
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"targad/internal/mat"
+)
+
+func TestIdnessMSP(t *testing.T) {
+	logits := []float64{2, 0, 0}
+	probs := make([]float64, 3)
+	mat.Softmax(probs, logits)
+	_, want := mat.ArgMax(probs)
+	if got := idness(MSP, logits); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MSP idness = %v, want %v", got, want)
+	}
+}
+
+func TestIdnessES(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	want := mat.LogSumExp(logits)
+	if got := idness(ES, logits); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ES idness = %v, want %v", got, want)
+	}
+}
+
+func TestIdnessED(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	want := mat.LogSumExp(logits) - 2
+	if got := idness(ED, logits); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ED idness = %v, want %v", got, want)
+	}
+	// ED is shift-invariant: adding a constant to every logit must not
+	// change it — the property that makes it robust to overconfidence.
+	shifted := []float64{101, 102, 103}
+	if got := idness(ED, shifted); math.Abs(got-idness(ED, logits)) > 1e-9 {
+		t.Fatalf("ED not shift invariant: %v vs %v", got, idness(ED, logits))
+	}
+}
+
+func TestIdnessConfidenceOrdering(t *testing.T) {
+	// Every strategy must score a peaked logit row as more
+	// in-distribution than a uniform one.
+	peaked := []float64{5, 0, 0, 0}
+	uniform := []float64{1, 1, 1, 1}
+	for _, s := range OODStrategies() {
+		if idness(s, peaked) <= idness(s, uniform) {
+			t.Fatalf("%s: peaked idness %v not above uniform %v", s, idness(s, peaked), idness(s, uniform))
+		}
+	}
+}
+
+func TestIdnessUnknownStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown strategy must panic")
+		}
+	}()
+	idness(OODStrategy(99), []float64{1})
+}
+
+func TestOODStrategyUnknownString(t *testing.T) {
+	if got := OODStrategy(7).String(); got != "OODStrategy(7)" {
+		t.Fatalf("unknown strategy String = %q", got)
+	}
+}

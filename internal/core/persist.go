@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"targad/internal/nn"
+	"targad/internal/rng"
+)
+
+// savedModel is the gob wire format of a trained TargAD model: the
+// classifier parameters plus the metadata needed to rebuild an
+// identical network and reproduce scoring and identification.
+type savedModel struct {
+	M, K      int
+	Dim       int
+	ClfHidden []int
+	// Thresholds maps OODStrategy (as int) to its calibrated ID-ness
+	// cut.
+	Thresholds map[int]float64
+	Params     [][]float64
+}
+
+// Save serializes the trained classifier and scoring metadata. The
+// candidate-selection artifacts (autoencoders, cluster assignments)
+// are training-time state and are not persisted — a loaded model can
+// Score and Identify but not resume training.
+func (mo *Model) Save(w io.Writer) error {
+	if mo.clf == nil {
+		return errors.New("targad: cannot save an unfitted model")
+	}
+	hidden := mo.cfg.ClfHidden
+	if len(hidden) == 0 {
+		hidden = defaultClfHidden(mo.dim)
+	}
+	s := savedModel{
+		M:          mo.m,
+		K:          mo.k,
+		Dim:        mo.dim,
+		ClfHidden:  hidden,
+		Thresholds: make(map[int]float64, len(mo.idThreshold)),
+		Params:     snapshotParams(mo.clf),
+	}
+	for strat, thr := range mo.idThreshold {
+		s.Thresholds[int(strat)] = thr
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reads a model previously written by Save and returns a Model
+// ready for Score, Probabilities, and Identify.
+func Load(r io.Reader) (*Model, error) {
+	var s savedModel
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("targad: load: %w", err)
+	}
+	if s.M < 1 || s.K < 1 || s.Dim < 1 {
+		return nil, fmt.Errorf("targad: load: invalid metadata m=%d k=%d dim=%d", s.M, s.K, s.Dim)
+	}
+	dims := append([]int{s.Dim}, s.ClfHidden...)
+	dims = append(dims, s.M+s.K)
+	clf, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Hidden: nn.ReLU, Output: nn.Identity, Init: nn.HeNormal}, rng.New(0))
+	if err != nil {
+		return nil, fmt.Errorf("targad: load: %w", err)
+	}
+	params := clf.Params()
+	if len(params) != len(s.Params) {
+		return nil, fmt.Errorf("targad: load: %d param tensors, saved %d", len(params), len(s.Params))
+	}
+	for i, p := range params {
+		if len(p.Data) != len(s.Params[i]) {
+			return nil, fmt.Errorf("targad: load: param %d has %d values, saved %d", i, len(p.Data), len(s.Params[i]))
+		}
+		copy(p.Data, s.Params[i])
+	}
+	mo := New(Config{ClfHidden: s.ClfHidden}, 0)
+	mo.m = s.M
+	mo.k = s.K
+	mo.dim = s.Dim
+	mo.clf = clf
+	for strat, thr := range s.Thresholds {
+		mo.idThreshold[OODStrategy(strat)] = thr
+	}
+	return mo, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := testBundle(t, 10)
+	m := New(testConfig(), 1)
+	if err := m.Fit(b.Train); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Score(b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Score(b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score %d differs after reload: %v vs %v", i, want[i], got[i])
+		}
+	}
+	// Identification thresholds survive too.
+	for _, s := range OODStrategies() {
+		wantThr, ok1 := m.IdentifyThreshold(s)
+		gotThr, ok2 := loaded.IdentifyThreshold(s)
+		if !ok1 || !ok2 || wantThr != gotThr {
+			t.Fatalf("threshold %s lost in round trip: %v/%v %v/%v", s, wantThr, ok1, gotThr, ok2)
+		}
+	}
+	wantKinds, err := m.Identify(b.Test.X, ED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKinds, err := loaded.Identify(b.Test.X, ED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantKinds {
+		if wantKinds[i] != gotKinds[i] {
+			t.Fatalf("identification %d differs after reload", i)
+		}
+	}
+}
+
+func TestSaveUnfittedErrors(t *testing.T) {
+	m := New(testConfig(), 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("saving unfitted model must error")
+	}
+}
+
+func TestLoadGarbageErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("loading garbage must error")
+	}
+}

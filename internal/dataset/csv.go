@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"targad/internal/mat"
+)
+
+// LoadCSV reads a numeric CSV into a matrix, optionally skipping a
+// header row. Every record must contain the same number of fields.
+func LoadCSV(r io.Reader, hasHeader bool) (*mat.Matrix, []string, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var header []string
+	if hasHeader {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+		header = make([]string, len(rec))
+		copy(header, rec)
+	}
+	var rows [][]float64
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: reading record %d: %w", line, err)
+		}
+		row := make([]float64, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: record %d field %d %q: %w", line, j, f, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+		line++
+	}
+	m, err := mat.FromRows(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, header, nil
+}
+
+// WriteCSV writes the matrix as CSV, with an optional header row.
+func WriteCSV(w io.Writer, m *mat.Matrix, header []string) error {
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if len(header) != m.Cols {
+			return fmt.Errorf("dataset: header has %d fields, matrix has %d cols", len(header), m.Cols)
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

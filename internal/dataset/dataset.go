@@ -1,0 +1,162 @@
+// Package dataset defines the data containers shared by TargAD, the
+// eleven baselines, and the experiment harness: labeled/unlabeled
+// training splits, evaluation sets with ground-truth anomaly kinds,
+// and tabular preprocessing (min-max scaling, one-hot encoding, CSV
+// import/export).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"targad/internal/mat"
+)
+
+// Kind distinguishes the three ground-truth instance categories the
+// paper reasons about.
+type Kind int8
+
+// Instance kinds.
+const (
+	KindNormal Kind = iota
+	KindTarget
+	KindNonTarget
+)
+
+// String returns the paper's terminology for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindTarget:
+		return "target"
+	case KindNonTarget:
+		return "non-target"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TrainSet is the training input of the problem definition
+// (Section III-A): a few labeled target anomalies D_L plus a large
+// unlabeled pool D_U.
+type TrainSet struct {
+	// Labeled holds the r labeled target anomalies (D_L), one per row.
+	Labeled *mat.Matrix
+	// LabeledType[i] ∈ [0, NumTargetTypes) is the target anomaly type
+	// of Labeled row i.
+	LabeledType []int
+	// NumTargetTypes is m, the number of target anomaly types.
+	NumTargetTypes int
+
+	// Unlabeled holds D_U, one instance per row.
+	Unlabeled *mat.Matrix
+
+	// UnlabeledKind records the hidden ground truth of each unlabeled
+	// instance. Detectors must never read it; the experiment harness
+	// uses it for diagnostics such as the weight-trajectory analysis
+	// of Fig. 5.
+	UnlabeledKind []Kind
+}
+
+// Validate checks internal consistency of the training set.
+func (t *TrainSet) Validate() error {
+	if t.Labeled == nil || t.Unlabeled == nil {
+		return errors.New("dataset: nil labeled or unlabeled matrix")
+	}
+	if t.Labeled.Rows != len(t.LabeledType) {
+		return fmt.Errorf("dataset: %d labeled rows vs %d labels", t.Labeled.Rows, len(t.LabeledType))
+	}
+	if t.Labeled.Rows > 0 && t.Labeled.Cols != t.Unlabeled.Cols {
+		return fmt.Errorf("dataset: labeled dim %d vs unlabeled dim %d", t.Labeled.Cols, t.Unlabeled.Cols)
+	}
+	if t.NumTargetTypes < 1 {
+		return fmt.Errorf("dataset: NumTargetTypes = %d, need >= 1", t.NumTargetTypes)
+	}
+	for i, ty := range t.LabeledType {
+		if ty < 0 || ty >= t.NumTargetTypes {
+			return fmt.Errorf("dataset: labeled row %d has type %d outside [0,%d)", i, ty, t.NumTargetTypes)
+		}
+	}
+	if t.UnlabeledKind != nil && len(t.UnlabeledKind) != t.Unlabeled.Rows {
+		return fmt.Errorf("dataset: %d unlabeled rows vs %d kinds", t.Unlabeled.Rows, len(t.UnlabeledKind))
+	}
+	return nil
+}
+
+// Dim returns the feature dimensionality D.
+func (t *TrainSet) Dim() int { return t.Unlabeled.Cols }
+
+// EvalSet is a labeled evaluation split (validation or testing).
+type EvalSet struct {
+	X *mat.Matrix
+	// Kind is the ground-truth category per row.
+	Kind []Kind
+	// Type is the sub-type index per row: target type in
+	// [0, m) for target rows, non-target type id for non-target rows,
+	// normal group id for normal rows. It is informational.
+	Type []int
+}
+
+// Validate checks internal consistency of the evaluation set.
+func (e *EvalSet) Validate() error {
+	if e.X == nil {
+		return errors.New("dataset: nil eval matrix")
+	}
+	if e.X.Rows != len(e.Kind) {
+		return fmt.Errorf("dataset: %d eval rows vs %d kinds", e.X.Rows, len(e.Kind))
+	}
+	if e.Type != nil && len(e.Type) != e.X.Rows {
+		return fmt.Errorf("dataset: %d eval rows vs %d types", e.X.Rows, len(e.Type))
+	}
+	return nil
+}
+
+// TargetLabels returns the binary ground truth used by AUROC/AUPRC:
+// true for target anomalies (output label +1 in the paper), false for
+// normal instances and non-target anomalies (−1).
+func (e *EvalSet) TargetLabels() []bool {
+	out := make([]bool, len(e.Kind))
+	for i, k := range e.Kind {
+		out[i] = k == KindTarget
+	}
+	return out
+}
+
+// Counts returns how many normal, target, and non-target rows the set
+// contains.
+func (e *EvalSet) Counts() (normal, target, nonTarget int) {
+	for _, k := range e.Kind {
+		switch k {
+		case KindNormal:
+			normal++
+		case KindTarget:
+			target++
+		case KindNonTarget:
+			nonTarget++
+		}
+	}
+	return
+}
+
+// Bundle groups the three splits of one benchmark dataset.
+type Bundle struct {
+	Name  string
+	Train *TrainSet
+	Val   *EvalSet
+	Test  *EvalSet
+}
+
+// Validate checks every split.
+func (b *Bundle) Validate() error {
+	if err := b.Train.Validate(); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	if err := b.Val.Validate(); err != nil {
+		return fmt.Errorf("val: %w", err)
+	}
+	if err := b.Test.Validate(); err != nil {
+		return fmt.Errorf("test: %w", err)
+	}
+	return nil
+}

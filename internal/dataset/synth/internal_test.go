@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"testing"
+
+	"targad/internal/rng"
+)
+
+func TestSampleWithPoolProperties(t *testing.T) {
+	r := rng.New(1)
+	pool := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for trial := 0; trial < 50; trial++ {
+		sub := sampleWithPool(r, 40, 10, pool)
+		if len(sub) != 10 {
+			t.Fatalf("subspace size %d, want 10", len(sub))
+		}
+		seen := map[int]bool{}
+		inPool := 0
+		poolSet := map[int]bool{}
+		for _, p := range pool {
+			poolSet[p] = true
+		}
+		for _, d := range sub {
+			if d < 0 || d >= 40 {
+				t.Fatalf("dim %d out of range", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate dim %d", d)
+			}
+			seen[d] = true
+			if poolSet[d] {
+				inPool++
+			}
+		}
+		// At least the guaranteed pool draw (80% of size, capped at
+		// pool length) must come from the pool.
+		if inPool < 8 {
+			t.Fatalf("only %d of 10 dims from pool, want >= 8", inPool)
+		}
+	}
+}
+
+func TestSampleWithPoolSmallPool(t *testing.T) {
+	r := rng.New(2)
+	sub := sampleWithPool(r, 20, 10, []int{3})
+	if len(sub) != 10 {
+		t.Fatalf("size %d", len(sub))
+	}
+}
+
+func TestHashSeedStable(t *testing.T) {
+	if hashSeed("UNSW-NB15") != hashSeed("UNSW-NB15") {
+		t.Fatal("hashSeed must be deterministic")
+	}
+	if hashSeed("a") == hashSeed("b") {
+		t.Fatal("hashSeed should distinguish names")
+	}
+}
+
+func TestGeneratorGeometryPerSeed(t *testing.T) {
+	p := KDDCUP99()
+	g1, err := newGenerator(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := newGenerator(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := newGenerator(p, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → identical geometry; different seed → different.
+	if g1.groupMean.Data[0] != g2.groupMean.Data[0] {
+		t.Fatal("geometry must be deterministic per (profile, seed)")
+	}
+	if g1.groupMean.Data[0] == g3.groupMean.Data[0] && g1.groupMean.Data[1] == g3.groupMean.Data[1] {
+		t.Fatal("geometry should vary with seed")
+	}
+}
+
+func TestVariantCountsRespected(t *testing.T) {
+	p := UNSWNB15()
+	g, err := newGenerator(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.types["Generic"].signs); got != 1 {
+		t.Fatalf("Generic variants = %d, want 1", got)
+	}
+	if got := len(g.types["Fuzzers"].signs); got != defaultVariants {
+		t.Fatalf("Fuzzers variants = %d, want %d", got, defaultVariants)
+	}
+}
+
+func TestRandomSubspacePools(t *testing.T) {
+	p := SQB()
+	g, err := newGenerator(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.types["Fraud"].poolDims != nil {
+		t.Fatal("target types must not use random subspaces")
+	}
+	if g.types["CashOut"].poolDims == nil {
+		t.Fatal("non-target types must use random subspace pools")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Fatal("clamp01 wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package synth
+
+// The four dataset profiles mirror Table I of the paper. Dimensions
+// and split compositions match the table exactly at Scale = 1; the
+// anomaly-type rosters match the classes the paper names for each
+// dataset.
+//
+// Pattern/strength assignments encode the scenarios the paper
+// motivates: target (high-risk) anomalies are subtle — they deviate
+// from normal behaviour mostly inside their own type-specific
+// subspaces with a weak shared component — while non-target (low-risk)
+// anomalies are conspicuous, deviating strongly along the shared
+// anomalous directions every detector picks up. That asymmetry is what
+// makes risk-agnostic detectors flood their top ranks with non-target
+// false positives, the failure mode TargAD is built to avoid.
+
+// Shared-component multipliers for target vs non-target anomaly types.
+const (
+	targetCommon    = 0.5
+	nonTargetCommon = 1.1
+)
+
+// UNSWNB15 emulates the UNSW-NB15 network-intrusion dataset: 196
+// features, seven anomaly classes of which Generic, Backdoor and DoS
+// are the paper's target classes.
+func UNSWNB15() Profile {
+	return Profile{
+		Name:         "UNSW-NB15",
+		Dim:          196,
+		NormalGroups: 4,
+		Anomalies: []TypeSpec{
+			{Name: "Generic", Pattern: PatternShift, Strength: 0.4, SubspaceFrac: 0.1, CommonScale: targetCommon, Variants: 1},
+			{Name: "Backdoor", Pattern: PatternSpike, Strength: 0.5, SubspaceFrac: 0.07, CommonScale: targetCommon, Variants: 2},
+			{Name: "DoS", Pattern: PatternCorrelated, Strength: 0.45, SubspaceFrac: 0.12, CommonScale: targetCommon, Variants: 1},
+			{Name: "Fuzzers", Pattern: PatternScatter, Strength: 0.5, SubspaceFrac: 0.1, CommonScale: nonTargetCommon, RandomSubspace: true},
+			{Name: "Analysis", Pattern: PatternShift, Strength: 0.4, SubspaceFrac: 0.09, CommonScale: nonTargetCommon, RandomSubspace: true},
+			{Name: "Exploits", Pattern: PatternCorrelated, Strength: 0.45, SubspaceFrac: 0.11, CommonScale: nonTargetCommon, RandomSubspace: true},
+			{Name: "Reconnaissance", Pattern: PatternSpike, Strength: 0.5, SubspaceFrac: 0.07, CommonScale: nonTargetCommon, RandomSubspace: true},
+		},
+		DefaultTargets: []string{"Generic", "Backdoor", "DoS"},
+		LabeledPerType: 100, // 300 labeled total
+		TrainUnlabeled: 62631,
+		Val:            Comp{Normal: 14899, Target: 334, NonTarget: 450},
+		Test:           Comp{Normal: 18601, Target: 1666, NonTarget: 2335},
+	}
+}
+
+// KDDCUP99 emulates the de-duplicated 32-feature KDDCUP99 dataset with
+// R2L and DoS as target classes and Probe as the non-target class.
+func KDDCUP99() Profile {
+	return Profile{
+		Name:         "KDDCUP99",
+		Dim:          32,
+		NormalGroups: 3,
+		Anomalies: []TypeSpec{
+			{Name: "R2L", Pattern: PatternSpike, Strength: 0.8, SubspaceFrac: 0.25, CommonScale: targetCommon, Variants: 1},
+			{Name: "DoS", Pattern: PatternCorrelated, Strength: 0.75, SubspaceFrac: 0.35, CommonScale: targetCommon, Variants: 2},
+			{Name: "Probe", Pattern: PatternShift, Strength: 0.65, SubspaceFrac: 0.3, CommonScale: nonTargetCommon, RandomSubspace: true},
+		},
+		DefaultTargets: []string{"R2L", "DoS"},
+		LabeledPerType: 100, // 200 labeled total
+		TrainUnlabeled: 58524,
+		Val:            Comp{Normal: 13918, Target: 419, NonTarget: 188},
+		Test:           Comp{Normal: 17380, Target: 799, NonTarget: 352},
+	}
+}
+
+// NSLKDD emulates NSL-KDD (the revised KDDCUP99) with 41 features and
+// the same target/non-target class partition as KDDCUP99.
+func NSLKDD() Profile {
+	return Profile{
+		Name:         "NSL-KDD",
+		Dim:          41,
+		NormalGroups: 3,
+		Anomalies: []TypeSpec{
+			{Name: "R2L", Pattern: PatternSpike, Strength: 0.7, SubspaceFrac: 0.22, CommonScale: targetCommon, Variants: 1},
+			{Name: "DoS", Pattern: PatternCorrelated, Strength: 0.65, SubspaceFrac: 0.3, CommonScale: targetCommon, Variants: 2},
+			{Name: "Probe", Pattern: PatternShift, Strength: 0.6, SubspaceFrac: 0.28, CommonScale: nonTargetCommon, RandomSubspace: true},
+		},
+		DefaultTargets: []string{"R2L", "DoS"},
+		LabeledPerType: 100,
+		TrainUnlabeled: 45385,
+		Val:            Comp{Normal: 10743, Target: 487, NonTarget: 366},
+		Test:           Comp{Normal: 13492, Target: 749, NonTarget: 629},
+	}
+}
+
+// SQB emulates the proprietary integrated-payment-platform dataset:
+// 182 features, extreme class imbalance, and — per the paper's
+// footnote to Table I — evaluation "normals" drawn from the unlabeled
+// pool, which hides a residue of real anomalies (EvalNormalContam).
+func SQB() Profile {
+	return Profile{
+		Name:         "SQB",
+		Dim:          182,
+		NormalGroups: 5,
+		Anomalies: []TypeSpec{
+			{Name: "Fraud", Pattern: PatternCorrelated, Strength: 0.35, SubspaceFrac: 0.08, CommonScale: targetCommon, Variants: 2},
+			{Name: "GamblingRecharge", Pattern: PatternSpike, Strength: 0.4, SubspaceFrac: 0.06, CommonScale: targetCommon, Variants: 1},
+			{Name: "ClickFarming", Pattern: PatternShift, Strength: 0.4, SubspaceFrac: 0.09, CommonScale: nonTargetCommon, RandomSubspace: true},
+			{Name: "CashOut", Pattern: PatternScatter, Strength: 0.45, SubspaceFrac: 0.08, CommonScale: nonTargetCommon, RandomSubspace: true},
+		},
+		DefaultTargets:   []string{"Fraud", "GamblingRecharge"},
+		LabeledPerType:   106, // 212 labeled total
+		TrainUnlabeled:   132028,
+		Val:              Comp{Normal: 14671, Target: 23, NonTarget: 142},
+		Test:             Comp{Normal: 148323, Target: 236, NonTarget: 1502},
+		EvalNormalContam: 0.004,
+	}
+}
+
+// AllProfiles returns the four benchmark profiles in the paper's
+// column order.
+func AllProfiles() []Profile {
+	return []Profile{UNSWNB15(), KDDCUP99(), NSLKDD(), SQB()}
+}
+
+// ProfileByName returns the profile with the given name, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range AllProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

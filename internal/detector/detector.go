@@ -1,0 +1,37 @@
+// Package detector defines the interface every anomaly detector in
+// this repository implements — TargAD and all eleven baselines — so
+// the experiment harness can train and evaluate them uniformly.
+package detector
+
+import (
+	"targad/internal/dataset"
+	"targad/internal/mat"
+)
+
+// Detector is a trainable target-anomaly scorer.
+//
+// Score must return one score per row of x, where larger means "more
+// likely a target anomaly". Scores are only required to be comparable
+// within a single call (AUROC/AUPRC are rank metrics).
+type Detector interface {
+	// Name returns a short display name used in result tables.
+	Name() string
+	// Fit trains the detector. Implementations must not mutate train
+	// and must never read TrainSet.UnlabeledKind (ground truth is for
+	// the harness only).
+	Fit(train *dataset.TrainSet) error
+	// Score assigns a target-anomaly score to every row of x.
+	Score(x *mat.Matrix) ([]float64, error)
+}
+
+// Factory constructs a fresh detector for one run; seed controls all
+// of the detector's randomness.
+type Factory func(seed int64) Detector
+
+// ValidationAware is implemented by detectors that can exploit a
+// labeled validation split for model selection — the paper tunes
+// every method on such a split (Section IV-C). The harness calls
+// SetValidation before Fit when a validation set exists.
+type ValidationAware interface {
+	SetValidation(v *dataset.EvalSet)
+}

@@ -1,0 +1,26 @@
+package detector_test
+
+import (
+	"testing"
+
+	"targad/internal/baselines/iforest"
+	"targad/internal/core"
+	"targad/internal/detector"
+)
+
+// TestInterfaceSatisfaction pins the contract: TargAD and a
+// representative baseline implement Detector, and TargAD additionally
+// implements ValidationAware.
+func TestInterfaceSatisfaction(t *testing.T) {
+	var d detector.Detector = core.New(core.DefaultConfig(), 1)
+	if _, ok := d.(detector.ValidationAware); !ok {
+		t.Fatal("TargAD must implement ValidationAware")
+	}
+	var f detector.Detector = iforest.New(iforest.DefaultConfig(1))
+	if f.Name() != "iForest" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if _, ok := f.(detector.ValidationAware); ok {
+		t.Fatal("iForest must not claim validation awareness")
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"targad/internal/baselines/deepsad"
+	"targad/internal/baselines/devnet"
+	"targad/internal/baselines/feawad"
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/mat"
+	"targad/internal/metrics"
+)
+
+// Fig3Result reproduces the convergence analysis of Fig. 3:
+// (a) TargAD's training loss per epoch and (b) per-epoch test AUPRC
+// for TargAD and a panel of semi-supervised baselines.
+type Fig3Result struct {
+	// Loss is TargAD's mean L_clf per epoch (Fig. 3a).
+	Loss []float64
+	// Series maps model name → per-epoch test AUPRC (Fig. 3b).
+	Series map[string][]float64
+	// Order lists series names in display order.
+	Order []string
+}
+
+// Fig3 runs the convergence experiment on UNSW-NB15.
+func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
+	p := synth.UNSWNB15()
+	b, err := rc.generateFor(p, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	res := &Fig3Result{Series: make(map[string][]float64)}
+
+	auprcOf := func(scores []float64) float64 {
+		v, err := metrics.AUPRC(scores, b.Test.TargetLabels())
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+
+	// TargAD with the per-epoch hook.
+	cfg := rc.targadConfig()
+	cfg.EpochHook = func(epoch int, m *core.Model) {
+		s, err := m.Score(b.Test.X)
+		if err != nil {
+			return
+		}
+		res.Series["TargAD"] = append(res.Series["TargAD"], auprcOf(s))
+	}
+	model := core.New(cfg, rc.Seed)
+	if err := model.Fit(b.Train); err != nil {
+		return nil, fmt.Errorf("fig3: targad: %w", err)
+	}
+	res.Loss = model.EpochLosses
+	res.Order = append(res.Order, "TargAD")
+	if progress != nil {
+		fmt.Fprintf(progress, "fig3: TargAD final AUPRC=%.3f\n", last(res.Series["TargAD"]))
+	}
+
+	// Baseline panel with matching per-epoch hooks.
+	trainBaseline := func(name string, run func() error) error {
+		if err := run(); err != nil {
+			return fmt.Errorf("fig3: %s: %w", name, err)
+		}
+		res.Order = append(res.Order, name)
+		if progress != nil {
+			fmt.Fprintf(progress, "fig3: %s final AUPRC=%.3f\n", name, last(res.Series[name]))
+		}
+		return nil
+	}
+
+	if err := trainBaseline("DevNet", func() error {
+		cfg := devnet.DefaultConfig(rc.Seed)
+		cfg.Epochs = rc.ClfEpochs
+		var m *devnet.DevNet
+		cfg.EpochHook = func(int) { res.Series["DevNet"] = append(res.Series["DevNet"], scoreAUPRC(m, b, auprcOf)) }
+		m = devnet.New(cfg)
+		return m.Fit(b.Train)
+	}); err != nil {
+		return nil, err
+	}
+	if err := trainBaseline("DeepSAD", func() error {
+		cfg := deepsad.DefaultConfig(rc.Seed)
+		cfg.Epochs = rc.ClfEpochs
+		var m *deepsad.DeepSAD
+		cfg.EpochHook = func(int) { res.Series["DeepSAD"] = append(res.Series["DeepSAD"], scoreAUPRC(m, b, auprcOf)) }
+		m = deepsad.New(cfg)
+		return m.Fit(b.Train)
+	}); err != nil {
+		return nil, err
+	}
+	if err := trainBaseline("FEAWAD", func() error {
+		cfg := feawad.DefaultConfig(rc.Seed)
+		cfg.Epochs = rc.ClfEpochs
+		var m *feawad.FEAWAD
+		cfg.EpochHook = func(int) { res.Series["FEAWAD"] = append(res.Series["FEAWAD"], scoreAUPRC(m, b, auprcOf)) }
+		m = feawad.New(cfg)
+		return m.Fit(b.Train)
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// midScorer is the subset of detector.Detector Fig. 3 needs while a
+// model is still training.
+type midScorer interface {
+	Score(x *mat.Matrix) ([]float64, error)
+}
+
+func scoreAUPRC(model midScorer, b *dataset.Bundle, auprcOf func([]float64) float64) float64 {
+	s, err := model.Score(b.Test.X)
+	if err != nil {
+		return 0
+	}
+	return auprcOf(s)
+}
+
+func last(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}
+
+// Render writes the loss curve and the AUPRC-per-epoch series.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 3(a) — TargAD training loss per epoch")
+	fmt.Fprintln(w)
+	t := newTable("epoch", "loss")
+	for i, l := range r.Loss {
+		t.addRow(fmt.Sprint(i+1), fmt.Sprintf("%.4f", l))
+	}
+	t.render(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Fig. 3(b) — test AUPRC per epoch")
+	fmt.Fprintln(w)
+	header := append([]string{"epoch"}, r.Order...)
+	t2 := newTable(header...)
+	epochs := 0
+	for _, name := range r.Order {
+		if n := len(r.Series[name]); n > epochs {
+			epochs = n
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		row := []string{fmt.Sprint(e + 1)}
+		for _, name := range r.Order {
+			s := r.Series[name]
+			if e < len(s) {
+				row = append(row, f3(s[e]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t2.addRow(row...)
+	}
+	t2.render(w)
+}

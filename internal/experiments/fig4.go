@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+)
+
+// Fig4Result holds one robustness sweep (Fig. 4a–d): per-model AUPRC
+// across the sweep's settings.
+type Fig4Result struct {
+	Title    string
+	Settings []string
+	Models   []string
+	// AUPRC is indexed [model][setting].
+	AUPRC [][]Cell
+}
+
+// fig4Sweep evaluates the semi-supervised model roster across
+// settings, where mutate(i) adapts the generation options for
+// setting i.
+func fig4Sweep(rc RunConfig, title string, settings []string, mutate func(i int, o *synth.Options), progress io.Writer) (*Fig4Result, error) {
+	p := synth.UNSWNB15()
+	models := SemiSupervisedModels(rc)
+	res := &Fig4Result{Title: title, Settings: settings}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name)
+	}
+	res.AUPRC = make([][]Cell, len(models))
+	for mi, m := range models {
+		res.AUPRC[mi] = make([]Cell, len(settings))
+		for si := range settings {
+			si := si
+			prc, _, err := repeatEval(rc, m.New, func(run int) (*dataset.Bundle, error) {
+				return rc.generateFor(p, run, func(o *synth.Options) { mutate(si, o) })
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s at %s: %w", title, m.Name, settings[si], err)
+			}
+			res.AUPRC[mi][si] = prc
+			if progress != nil {
+				fmt.Fprintf(progress, "%s: %-10s %-14s AUPRC=%s\n", title, m.Name, settings[si], prc)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig4a varies how many of UNSW-NB15's four non-target types appear
+// in training; the testing data always contains all four, so the
+// withheld types are novel at test time (0–3 new types).
+func Fig4a(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+	// The paper's four settings: 4 classes (0 new), 3 (Fuzzers,
+	// Analysis, Reconnaissance), 2 (Analysis, Reconnaissance),
+	// 1 (Reconnaissance).
+	trainSets := [][]string{
+		{"Fuzzers", "Analysis", "Exploits", "Reconnaissance"},
+		{"Fuzzers", "Analysis", "Reconnaissance"},
+		{"Analysis", "Reconnaissance"},
+		{"Reconnaissance"},
+	}
+	settings := []string{"0 new types", "1 new type", "2 new types", "3 new types"}
+	return fig4Sweep(rc, "fig4a", settings, func(i int, o *synth.Options) {
+		o.TrainNonTargetTypes = trainSets[i]
+	}, progress)
+}
+
+// Fig4b varies the number m of target anomaly classes from 1 to 6
+// over UNSW-NB15's seven anomaly types; the remaining types are
+// non-target.
+func Fig4b(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+	order := []string{"Generic", "Backdoor", "DoS", "Fuzzers", "Analysis", "Exploits", "Reconnaissance"}
+	settings := make([]string, 6)
+	for i := range settings {
+		settings[i] = fmt.Sprintf("m=%d", i+1)
+	}
+	return fig4Sweep(rc, "fig4b", settings, func(i int, o *synth.Options) {
+		o.TargetTypes = order[:i+1]
+	}, progress)
+}
+
+// Fig4c varies the number of labeled target anomalies per type
+// (paper: {20, 60, 100}), at 5% contamination. The counts scale with
+// rc.Scale so the labeled/unlabeled ratio matches the paper's.
+func Fig4c(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+	counts := []int{20, 60, 100}
+	settings := make([]string, len(counts))
+	scaledCounts := make([]int, len(counts))
+	for i, c := range counts {
+		settings[i] = fmt.Sprintf("%d labeled/type", c)
+		sc := int(float64(c)*rc.Scale + 0.5)
+		if sc < 2 {
+			sc = 2
+		}
+		scaledCounts[i] = sc
+	}
+	return fig4Sweep(rc, "fig4c", settings, func(i int, o *synth.Options) {
+		o.LabeledPerType = scaledCounts[i]
+	}, progress)
+}
+
+// Fig4d varies the anomaly contamination rate of the unlabeled pool
+// (paper: {3, 5, 7, 9}%).
+func Fig4d(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+	rates := []float64{0.03, 0.05, 0.07, 0.09}
+	settings := make([]string, len(rates))
+	for i, r := range rates {
+		settings[i] = fmt.Sprintf("%.0f%%", r*100)
+	}
+	return fig4Sweep(rc, "fig4d", settings, func(i int, o *synth.Options) {
+		o.Contamination = rates[i]
+	}, progress)
+}
+
+// Render writes the sweep as a model × setting table.
+func (r *Fig4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — AUPRC per model and setting (UNSW-NB15)\n\n", r.Title)
+	header := append([]string{"Model"}, r.Settings...)
+	t := newTable(header...)
+	for mi, m := range r.Models {
+		row := []string{m}
+		for si := range r.Settings {
+			row = append(row, r.AUPRC[mi][si].String())
+		}
+		t.addRow(row...)
+	}
+	t.render(w)
+}

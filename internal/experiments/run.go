@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/detector"
+	"targad/internal/metrics"
+)
+
+// Cell is one mean ± std aggregate of a results table.
+type Cell struct {
+	Mean, Std float64
+}
+
+// String renders the cell like the paper's tables.
+func (c Cell) String() string { return fmt.Sprintf("%.3f±%.3f", c.Mean, c.Std) }
+
+// evalDetector fits a fresh detector and returns its test AUPRC and
+// AUROC.
+func evalDetector(f detector.Factory, seed int64, b *dataset.Bundle) (auprc, auroc float64, err error) {
+	det := f(seed)
+	if va, ok := det.(detector.ValidationAware); ok && b.Val != nil {
+		va.SetValidation(b.Val)
+	}
+	if err := det.Fit(b.Train); err != nil {
+		return 0, 0, fmt.Errorf("%s: fit: %w", det.Name(), err)
+	}
+	scores, err := det.Score(b.Test.X)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: score: %w", det.Name(), err)
+	}
+	labels := b.Test.TargetLabels()
+	auprc, err = metrics.AUPRC(scores, labels)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: auprc: %w", det.Name(), err)
+	}
+	auroc, err = metrics.AUROC(scores, labels)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: auroc: %w", det.Name(), err)
+	}
+	return auprc, auroc, nil
+}
+
+// repeatEval runs evalDetector rc.Runs times over freshly generated
+// bundles (generator gen receives the run index) and aggregates.
+func repeatEval(rc RunConfig, f detector.Factory, gen func(run int) (*dataset.Bundle, error)) (Cell, Cell, error) {
+	prcs := make([]float64, 0, rc.Runs)
+	rocs := make([]float64, 0, rc.Runs)
+	for run := 0; run < rc.Runs; run++ {
+		b, err := gen(run)
+		if err != nil {
+			return Cell{}, Cell{}, err
+		}
+		prc, roc, err := evalDetector(f, rc.Seed+int64(run)*7919, b)
+		if err != nil {
+			return Cell{}, Cell{}, err
+		}
+		prcs = append(prcs, prc)
+		rocs = append(rocs, roc)
+	}
+	pm, ps := metrics.MeanStd(prcs)
+	rm, rs := metrics.MeanStd(rocs)
+	return Cell{pm, ps}, Cell{rm, rs}, nil
+}
+
+// generateFor builds one run's bundle for a profile with optional
+// option overrides applied after the RunConfig defaults.
+func (rc RunConfig) generateFor(p synth.Profile, run int, mutate func(*synth.Options)) (*dataset.Bundle, error) {
+	opt := rc.genOptions(run)
+	if mutate != nil {
+		mutate(&opt)
+	}
+	return synth.Generate(p, opt)
+}

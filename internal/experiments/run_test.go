@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+	"targad/internal/detector"
+	"targad/internal/mat"
+)
+
+// stubDetector returns fixed scores, optionally failing.
+type stubDetector struct {
+	fitErr   error
+	scoreErr error
+	val      *dataset.EvalSet
+}
+
+func (s *stubDetector) Name() string { return "stub" }
+
+func (s *stubDetector) Fit(train *dataset.TrainSet) error { return s.fitErr }
+
+func (s *stubDetector) Score(x *mat.Matrix) ([]float64, error) {
+	if s.scoreErr != nil {
+		return nil, s.scoreErr
+	}
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out, nil
+}
+
+func (s *stubDetector) SetValidation(v *dataset.EvalSet) { s.val = v }
+
+func stubBundle(t *testing.T) *dataset.Bundle {
+	t.Helper()
+	b, err := synth.Generate(synth.KDDCUP99(), synth.Options{Scale: 0.01, Seed: 1, LabeledPerType: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEvalDetectorPassesValidation(t *testing.T) {
+	b := stubBundle(t)
+	stub := &stubDetector{}
+	factory := func(seed int64) detector.Detector { return stub }
+	if _, _, err := evalDetector(factory, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if stub.val == nil {
+		t.Fatal("validation split must be handed to ValidationAware detectors")
+	}
+}
+
+func TestEvalDetectorPropagatesErrors(t *testing.T) {
+	b := stubBundle(t)
+	fitErr := errors.New("boom-fit")
+	factory := func(seed int64) detector.Detector { return &stubDetector{fitErr: fitErr} }
+	if _, _, err := evalDetector(factory, 1, b); !errors.Is(err, fitErr) {
+		t.Fatalf("fit error not propagated: %v", err)
+	}
+	scoreErr := errors.New("boom-score")
+	factory2 := func(seed int64) detector.Detector { return &stubDetector{scoreErr: scoreErr} }
+	if _, _, err := evalDetector(factory2, 1, b); !errors.Is(err, scoreErr) {
+		t.Fatalf("score error not propagated: %v", err)
+	}
+}
+
+func TestRepeatEvalAggregates(t *testing.T) {
+	b := stubBundle(t)
+	rc := microConfig()
+	rc.Runs = 3
+	factory := func(seed int64) detector.Detector { return &stubDetector{} }
+	prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) { return b, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical runs → (numerically) zero std.
+	if prc.Std > 1e-9 || roc.Std > 1e-9 {
+		t.Fatalf("identical runs must have ~zero std: %v %v", prc, roc)
+	}
+	if prc.Mean < 0 || prc.Mean > 1 || roc.Mean < 0 || roc.Mean > 1 {
+		t.Fatalf("aggregates out of range: %v %v", prc, roc)
+	}
+}
+
+func TestRepeatEvalPropagatesGenError(t *testing.T) {
+	rc := microConfig()
+	genErr := errors.New("boom-gen")
+	factory := func(seed int64) detector.Detector { return &stubDetector{} }
+	if _, _, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) { return nil, genErr }); !errors.Is(err, genErr) {
+		t.Fatalf("generator error not propagated: %v", err)
+	}
+}
+
+func TestTable2BestModelHelper(t *testing.T) {
+	res := &Table2Result{
+		Datasets: []string{"A", "B"},
+		Models:   []string{"m1", "m2"},
+		AUPRC: [][]Cell{
+			{{Mean: 0.5}, {Mean: 0.9}},
+			{{Mean: 0.7}, {Mean: 0.2}},
+		},
+	}
+	best := res.BestModelPerDataset()
+	if best[0] != "m2" || best[1] != "m1" {
+		t.Fatalf("BestModelPerDataset = %v", best)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"targad/internal/dataset/synth"
+)
+
+// Table1Row is one dataset's split statistics (Table I).
+type Table1Row struct {
+	Dataset   string
+	Dim       int
+	LabeledT  int
+	Unlabeled int
+	ValN      int
+	ValT      int
+	ValNT     int
+	TestN     int
+	TestT     int
+	TestNT    int
+}
+
+// Table1Result reproduces Table I: the composition of every split of
+// the four datasets at the configured scale.
+type Table1Result struct {
+	Scale float64
+	Rows  []Table1Row
+}
+
+// Table1 generates each dataset once and tabulates split sizes.
+func Table1(rc RunConfig) (*Table1Result, error) {
+	res := &Table1Result{Scale: rc.Scale}
+	for _, p := range synth.AllProfiles() {
+		b, err := rc.generateFor(p, 0, nil)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", p.Name, err)
+		}
+		vn, vt, vnt := b.Val.Counts()
+		tn, tt, tnt := b.Test.Counts()
+		res.Rows = append(res.Rows, Table1Row{
+			Dataset:   p.Name,
+			Dim:       p.Dim,
+			LabeledT:  b.Train.Labeled.Rows,
+			Unlabeled: b.Train.Unlabeled.Rows,
+			ValN:      vn, ValT: vt, ValNT: vnt,
+			TestN: tn, TestT: tt, TestNT: tnt,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's column layout.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table I — dataset statistics (scale %.3g of paper sizes)\n\n", r.Scale)
+	t := newTable("dataset", "D*", "labeled target", "unlabeled",
+		"val normal", "val target", "val non-target",
+		"test normal", "test target", "test non-target")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset,
+			fmt.Sprint(row.Dim),
+			fmt.Sprint(row.LabeledT),
+			fmt.Sprint(row.Unlabeled),
+			fmt.Sprint(row.ValN), fmt.Sprint(row.ValT), fmt.Sprint(row.ValNT),
+			fmt.Sprint(row.TestN), fmt.Sprint(row.TestT), fmt.Sprint(row.TestNT))
+	}
+	t.render(w)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"targad/internal/dataset"
+	"targad/internal/dataset/synth"
+)
+
+// Table2Result reproduces Table II: AUPRC and AUROC (mean ± std over
+// rc.Runs) for every model on every dataset.
+type Table2Result struct {
+	Datasets []string
+	Models   []string
+	// AUPRC and AUROC are indexed [model][dataset].
+	AUPRC [][]Cell
+	AUROC [][]Cell
+}
+
+// Table2 runs the full model × dataset grid. progress, when non-nil,
+// receives a line per completed cell.
+func Table2(rc RunConfig, progress io.Writer) (*Table2Result, error) {
+	profiles := synth.AllProfiles()
+	models := Models(rc)
+	res := &Table2Result{}
+	for _, p := range profiles {
+		res.Datasets = append(res.Datasets, p.Name)
+	}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name)
+	}
+	res.AUPRC = make([][]Cell, len(models))
+	res.AUROC = make([][]Cell, len(models))
+	for mi, m := range models {
+		res.AUPRC[mi] = make([]Cell, len(profiles))
+		res.AUROC[mi] = make([]Cell, len(profiles))
+		for pi, p := range profiles {
+			p := p
+			prc, roc, err := repeatEval(rc, m.New, func(run int) (*dataset.Bundle, error) {
+				return rc.generateFor(p, run, nil)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table2: %s on %s: %w", m.Name, p.Name, err)
+			}
+			res.AUPRC[mi][pi] = prc
+			res.AUROC[mi][pi] = roc
+			if progress != nil {
+				fmt.Fprintf(progress, "table2: %-10s %-10s AUPRC=%s AUROC=%s\n", m.Name, p.Name, prc, roc)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes both metric blocks in the paper's layout.
+func (r *Table2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table II — AUPRC and AUROC (mean ± std) of TargAD and the eleven baselines")
+	for _, metric := range []struct {
+		name  string
+		cells [][]Cell
+	}{{"AUPRC", r.AUPRC}, {"AUROC", r.AUROC}} {
+		fmt.Fprintf(w, "\n%s\n", metric.name)
+		header := append([]string{"Models"}, r.Datasets...)
+		t := newTable(header...)
+		for mi, m := range r.Models {
+			row := []string{m}
+			for pi := range r.Datasets {
+				row = append(row, metric.cells[mi][pi].String())
+			}
+			t.addRow(row...)
+		}
+		t.render(w)
+	}
+}
+
+// BestModelPerDataset returns, for each dataset, the model with the
+// highest mean AUPRC — the headline claim of Table II is that this is
+// TargAD everywhere.
+func (r *Table2Result) BestModelPerDataset() []string {
+	out := make([]string, len(r.Datasets))
+	for pi := range r.Datasets {
+		best, bestV := "", -1.0
+		for mi, m := range r.Models {
+			if v := r.AUPRC[mi][pi].Mean; v > bestV {
+				best, bestV = m, v
+			}
+		}
+		out[pi] = best
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+// Package mat provides the dense linear-algebra kernels that underpin
+// every learning component in this repository: matrices stored in
+// row-major float64 slices, matrix products, row/column reductions, and
+// numerically careful helpers (log-sum-exp, softmax) used by the neural
+// network substrate.
+//
+// The package is deliberately small and allocation-conscious: hot paths
+// (gemm, axpy) accept destination buffers so training loops can reuse
+// memory across iterations.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. Data aliasing is allowed and
+// sometimes exploited: Row returns a view, not a copy.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// ErrShape reports a dimension mismatch between operands.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix by copying the given rows. All rows must
+// have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: row %d has %d columns, want %d: %w", i, len(r), cols, ErrShape)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i (no copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to zero, keeping the backing array.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		return fmt.Errorf("mat: copy %dx%d into %dx%d: %w", src.Rows, src.Cols, m.Rows, m.Cols, ErrShape)
+	}
+	copy(m.Data, src.Data)
+	return nil
+}
+
+// Reshape returns a view of m with the new shape; the element count
+// must be unchanged.
+func (m *Matrix) Reshape(rows, cols int) (*Matrix, error) {
+	if rows*cols != len(m.Data) {
+		return nil, fmt.Errorf("mat: reshape %dx%d to %dx%d: %w", m.Rows, m.Cols, rows, cols, ErrShape)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: m.Data}, nil
+}
+
+// Mul computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
+// a or b. A nil dst allocates a fresh result.
+func Mul(dst, a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("mat: mul %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
+	}
+	if dst == nil {
+		dst = New(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			return nil, fmt.Errorf("mat: mul destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Cols, ErrShape)
+		}
+		dst.Zero()
+	}
+	// ikj loop order: streams through b and dst rows sequentially.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst, nil
+}
+
+// MulATB computes dst = aᵀ·b without materializing the transpose.
+func MulATB(dst, a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("mat: mulATB %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
+	}
+	if dst == nil {
+		dst = New(a.Cols, b.Cols)
+	} else {
+		if dst.Rows != a.Cols || dst.Cols != b.Cols {
+			return nil, fmt.Errorf("mat: mulATB destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Cols, b.Cols, ErrShape)
+		}
+		dst.Zero()
+	}
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst, nil
+}
+
+// MulABT computes dst = a·bᵀ without materializing the transpose.
+func MulABT(dst, a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("mat: mulABT %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
+	}
+	if dst == nil {
+		dst = New(a.Rows, b.Rows)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Rows {
+			return nil, fmt.Errorf("mat: mulABT destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Rows, ErrShape)
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+		}
+	}
+	return dst, nil
+}
+
+// Transpose returns a newly allocated aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	t := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Data[j*t.Cols+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return t
+}
+
+// Dot returns the inner product of equally sized vectors a and b.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy performs y += alpha*x element-wise.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func AddRowVector(m *Matrix, v []float64) error {
+	if len(v) != m.Cols {
+		return fmt.Errorf("mat: add row vector len %d to %d cols: %w", len(v), m.Cols, ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+	return nil
+}
+
+// ColSums returns the per-column sums of m.
+func ColSums(m *Matrix) []float64 {
+	s := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			s[j] += v
+		}
+	}
+	return s
+}
+
+// SquaredDistance returns ‖a−b‖² for equally sized vectors.
+func SquaredDistance(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the softmax of logits into out (out may alias logits).
+// The computation subtracts the max logit first for stability.
+func Softmax(out, logits []float64) {
+	if len(out) != len(logits) {
+		panic("mat: softmax length mismatch")
+	}
+	m := logits[0]
+	for _, v := range logits[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for i, v := range logits {
+		e := math.Exp(v - m)
+		out[i] = e
+		s += e
+	}
+	inv := 1 / s
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// ArgMax returns the index of the maximum element (first on ties) and
+// its value. It panics on an empty slice.
+func ArgMax(x []float64) (int, float64) {
+	if len(x) == 0 {
+		panic("mat: argmax of empty slice")
+	}
+	bi, bv := 0, x[0]
+	for i, v := range x[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// MinMax returns the minimum and maximum of x. It panics on an empty
+// slice.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		panic("mat: minmax of empty slice")
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 when len(x) < 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }

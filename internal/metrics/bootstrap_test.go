@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"testing"
+
+	"targad/internal/rng"
+)
+
+func TestBootstrapCICoversPointEstimate(t *testing.T) {
+	r := rng.New(1)
+	n := 400
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = i%5 == 0
+		if labels[i] {
+			scores[i] = r.Normal(1, 0.5)
+		} else {
+			scores[i] = r.Normal(0, 0.5)
+		}
+	}
+	point, err := AUPRC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := BootstrapCI(AUPRC, scores, labels, 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > point || hi < point {
+		t.Fatalf("CI [%v, %v] excludes point estimate %v", lo, hi, point)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("CI outside [0,1]: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCINarrowsWithSeparation(t *testing.T) {
+	r := rng.New(2)
+	n := 300
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = i%4 == 0
+		if labels[i] {
+			scores[i] = 10 + r.Float64() // perfectly separated
+		} else {
+			scores[i] = r.Float64()
+		}
+	}
+	lo, hi, err := BootstrapCI(AUROC, scores, labels, 100, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.999 || hi != 1 {
+		t.Fatalf("perfect separation CI = [%v, %v], want ~[1,1]", lo, hi)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	if _, _, err := BootstrapCI(AUPRC, nil, nil, 100, 0.95, 1); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, _, err := BootstrapCI(AUPRC, []float64{1}, []bool{true}, 5, 0.95, 1); err == nil {
+		t.Fatal("too few iterations must error")
+	}
+	if _, _, err := BootstrapCI(AUPRC, []float64{1, 2}, []bool{true, false}, 100, 1.5, 1); err == nil {
+		t.Fatal("bad level must error")
+	}
+	// All-one-class inputs: every resample degenerate.
+	if _, _, err := BootstrapCI(AUPRC, []float64{1, 2}, []bool{true, true}, 100, 0.95, 1); err == nil {
+		t.Fatal("degenerate labels must error")
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a square multi-class confusion matrix;
+// Counts[actual][predicted] holds the number of instances.
+type Confusion struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// NewConfusion builds a confusion matrix over the named classes from
+// parallel actual/predicted class-index slices.
+func NewConfusion(classes []string, actual, predicted []int) (*Confusion, error) {
+	if len(actual) != len(predicted) {
+		return nil, fmt.Errorf("metrics: %d actual vs %d predicted", len(actual), len(predicted))
+	}
+	k := len(classes)
+	c := &Confusion{Classes: classes, Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	for i, a := range actual {
+		p := predicted[i]
+		if a < 0 || a >= k || p < 0 || p >= k {
+			return nil, fmt.Errorf("metrics: class index out of range at %d (actual=%d predicted=%d, k=%d)", i, a, p, k)
+		}
+		c.Counts[a][p]++
+	}
+	return c, nil
+}
+
+// ClassReport holds per-class detection quality.
+type ClassReport struct {
+	Class     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Report summarizes one row of Table IV: per-class precision, recall
+// and F1, plus macro and support-weighted averages.
+type Report struct {
+	PerClass    []ClassReport
+	MacroAvg    ClassReport
+	WeightedAvg ClassReport
+	Accuracy    float64
+}
+
+// Report computes per-class and averaged precision/recall/F1.
+// Undefined ratios (zero denominators) are reported as 0, matching
+// scikit-learn's zero_division=0 behaviour.
+func (c *Confusion) Report() *Report {
+	k := len(c.Classes)
+	rep := &Report{}
+	var total, correct int
+	colSums := make([]int, k)
+	rowSums := make([]int, k)
+	for a := 0; a < k; a++ {
+		for p := 0; p < k; p++ {
+			n := c.Counts[a][p]
+			total += n
+			rowSums[a] += n
+			colSums[p] += n
+			if a == p {
+				correct += n
+			}
+		}
+	}
+	var macroP, macroR, macroF float64
+	var wP, wR, wF float64
+	for i := 0; i < k; i++ {
+		tp := float64(c.Counts[i][i])
+		var prec, rec, f1 float64
+		if colSums[i] > 0 {
+			prec = tp / float64(colSums[i])
+		}
+		if rowSums[i] > 0 {
+			rec = tp / float64(rowSums[i])
+		}
+		if prec+rec > 0 {
+			f1 = 2 * prec * rec / (prec + rec)
+		}
+		rep.PerClass = append(rep.PerClass, ClassReport{
+			Class: c.Classes[i], Precision: prec, Recall: rec, F1: f1, Support: rowSums[i],
+		})
+		macroP += prec
+		macroR += rec
+		macroF += f1
+		w := float64(rowSums[i])
+		wP += w * prec
+		wR += w * rec
+		wF += w * f1
+	}
+	kk := float64(k)
+	rep.MacroAvg = ClassReport{Class: "macro avg", Precision: macroP / kk, Recall: macroR / kk, F1: macroF / kk, Support: total}
+	if total > 0 {
+		t := float64(total)
+		rep.WeightedAvg = ClassReport{Class: "weighted avg", Precision: wP / t, Recall: wR / t, F1: wF / t, Support: total}
+		rep.Accuracy = float64(correct) / t
+	}
+	return rep
+}
+
+// MeanStd returns the mean and sample-free (population) standard
+// deviation of xs, the aggregation used for every "± std" cell in the
+// paper's tables.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

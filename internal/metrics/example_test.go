@@ -1,0 +1,42 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"targad/internal/metrics"
+)
+
+func ExampleAUPRC() {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	v, _ := metrics.AUPRC(scores, labels)
+	fmt.Printf("%.4f\n", v)
+	// Output: 0.8333
+}
+
+func ExampleAUROC() {
+	scores := []float64{0.8, 0.4, 0.6, 0.2}
+	labels := []bool{true, true, false, false}
+	v, _ := metrics.AUROC(scores, labels)
+	fmt.Printf("%.2f\n", v)
+	// Output: 0.75
+}
+
+func ExamplePrecisionAtK() {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, true}
+	p, _ := metrics.PrecisionAtK(scores, labels, 3)
+	fmt.Printf("%.3f\n", p)
+	// Output: 0.667
+}
+
+func ExampleConfusion_Report() {
+	conf, _ := metrics.NewConfusion(
+		[]string{"normal", "target", "non-target"},
+		[]int{0, 0, 1, 1, 2, 2},
+		[]int{0, 0, 1, 2, 2, 2},
+	)
+	rep := conf.Report()
+	fmt.Printf("accuracy %.2f, target recall %.1f\n", rep.Accuracy, rep.PerClass[1].Recall)
+	// Output: accuracy 0.83, target recall 0.5
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+
+	"targad/internal/mat"
+)
+
+// Activation names an element-wise nonlinearity usable as a Layer.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	LeakyReLU
+	Sigmoid
+	Tanh
+	Identity
+)
+
+// String returns the conventional lower-case name of the activation.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case LeakyReLU:
+		return "leaky_relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case Identity:
+		return "identity"
+	default:
+		return "unknown"
+	}
+}
+
+const leakySlope = 0.01
+
+// ActLayer applies an Activation element-wise. It stores the forward
+// output so Backward can compute the local derivative cheaply.
+type ActLayer struct {
+	Act Activation
+
+	lastIn  *mat.Matrix
+	lastOut *mat.Matrix
+}
+
+// NewAct returns an activation layer.
+func NewAct(a Activation) *ActLayer { return &ActLayer{Act: a} }
+
+// Forward implements Layer.
+func (l *ActLayer) Forward(x *mat.Matrix) *mat.Matrix {
+	l.lastIn = x
+	out := mat.New(x.Rows, x.Cols)
+	switch l.Act {
+	case ReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	case LeakyReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = leakySlope * v
+			}
+		}
+	case Sigmoid:
+		for i, v := range x.Data {
+			out.Data[i] = 1 / (1 + math.Exp(-v))
+		}
+	case Tanh:
+		for i, v := range x.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	case Identity:
+		copy(out.Data, x.Data)
+	}
+	l.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (l *ActLayer) Backward(grad *mat.Matrix) *mat.Matrix {
+	if l.lastOut == nil {
+		panic("nn: activation backward before forward")
+	}
+	gin := mat.New(grad.Rows, grad.Cols)
+	switch l.Act {
+	case ReLU:
+		for i, g := range grad.Data {
+			if l.lastIn.Data[i] > 0 {
+				gin.Data[i] = g
+			}
+		}
+	case LeakyReLU:
+		for i, g := range grad.Data {
+			if l.lastIn.Data[i] > 0 {
+				gin.Data[i] = g
+			} else {
+				gin.Data[i] = leakySlope * g
+			}
+		}
+	case Sigmoid:
+		for i, g := range grad.Data {
+			s := l.lastOut.Data[i]
+			gin.Data[i] = g * s * (1 - s)
+		}
+	case Tanh:
+		for i, g := range grad.Data {
+			t := l.lastOut.Data[i]
+			gin.Data[i] = g * (1 - t*t)
+		}
+	case Identity:
+		copy(gin.Data, grad.Data)
+	}
+	return gin
+}
+
+// Params implements Layer; activations have none.
+func (l *ActLayer) Params() []*Param { return nil }

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// Batcher yields shuffled mini-batch index slices over n instances.
+type Batcher struct {
+	N, BatchSize int
+
+	r    *rng.RNG
+	perm []int
+	pos  int
+}
+
+// NewBatcher returns a Batcher over n instances with the given batch
+// size (clamped to [1,n]).
+func NewBatcher(n, batchSize int, r *rng.RNG) *Batcher {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if batchSize > n && n > 0 {
+		batchSize = n
+	}
+	return &Batcher{N: n, BatchSize: batchSize, r: r}
+}
+
+// Next returns the next batch of indices, reshuffling at every epoch
+// boundary. The final batch of an epoch may be short. It returns nil
+// when N == 0.
+func (b *Batcher) Next() []int {
+	if b.N == 0 {
+		return nil
+	}
+	if b.perm == nil || b.pos >= b.N {
+		b.perm = b.r.Perm(b.N)
+		b.pos = 0
+	}
+	end := b.pos + b.BatchSize
+	if end > b.N {
+		end = b.N
+	}
+	out := b.perm[b.pos:end]
+	b.pos = end
+	return out
+}
+
+// BatchesPerEpoch returns how many Next calls constitute one pass.
+func (b *Batcher) BatchesPerEpoch() int {
+	if b.N == 0 {
+		return 0
+	}
+	return (b.N + b.BatchSize - 1) / b.BatchSize
+}
+
+// Gather copies the given rows of src into a new matrix, preserving
+// order.
+func Gather(src *mat.Matrix, rows []int) *mat.Matrix {
+	out := mat.New(len(rows), src.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), src.Row(r))
+	}
+	return out
+}
+
+// GatherVec copies the given positions of src into a new slice.
+func GatherVec(src []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, p := range idx {
+		out[i] = src[p]
+	}
+	return out
+}

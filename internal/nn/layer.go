@@ -1,0 +1,109 @@
+// Package nn is a compact, dependency-free neural-network substrate:
+// dense layers, activations, explicit backpropagation, Adam/SGD
+// optimizers, and the loss primitives used by TargAD and the deep
+// baselines. It supports exactly what the paper's models need — batch
+// training of multi-layer perceptrons on tabular float64 data — and is
+// written for clarity and reproducibility rather than raw speed.
+//
+// Gradient convention: Forward is called with a batch (rows are
+// instances); Backward receives dL/d(output) for the same batch and
+// returns dL/d(input), accumulating parameter gradients internally.
+// Parameter gradients are averaged over the batch by the caller
+// dividing the loss gradient, not by the layer.
+package nn
+
+import (
+	"fmt"
+
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// Param is a named, flat parameter tensor with its gradient buffer.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// ZeroGrad clears the gradient buffer.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a batch x.
+	Forward(x *mat.Matrix) *mat.Matrix
+	// Backward receives dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients as a side effect.
+	Backward(grad *mat.Matrix) *mat.Matrix
+	// Params returns the layer's trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer computing y = x·W + b.
+type Dense struct {
+	In, Out int
+	W       *Param // In×Out, row-major
+	B       *Param // Out
+
+	lastIn *mat.Matrix
+}
+
+// NewDense returns a Dense layer with weights drawn from the given
+// initializer.
+func NewDense(in, out int, init Initializer, r *rng.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   &Param{Name: fmt.Sprintf("dense%dx%d.W", in, out), Data: make([]float64, in*out), Grad: make([]float64, in*out)},
+		B:   &Param{Name: fmt.Sprintf("dense%dx%d.b", in, out), Data: make([]float64, out), Grad: make([]float64, out)},
+	}
+	init(d.W.Data, in, out, r)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense forward with %d features, want %d", x.Cols, d.In))
+	}
+	d.lastIn = x
+	w := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: d.W.Data}
+	out, err := mat.Mul(nil, x, w)
+	if err != nil {
+		panic(err)
+	}
+	if err := mat.AddRowVector(out, d.B.Data); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+	if d.lastIn == nil {
+		panic("nn: dense backward before forward")
+	}
+	// dW += xᵀ·grad
+	gw := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: make([]float64, d.In*d.Out)}
+	if _, err := mat.MulATB(gw, d.lastIn, grad); err != nil {
+		panic(err)
+	}
+	mat.Axpy(1, gw.Data, d.W.Grad)
+	// db += column sums of grad
+	mat.Axpy(1, mat.ColSums(grad), d.B.Grad)
+	// dL/dx = grad·Wᵀ
+	w := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: d.W.Data}
+	gin, err := mat.MulABT(nil, grad, w)
+	if err != nil {
+		panic(err)
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

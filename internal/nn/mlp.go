@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// MLP is a sequential multi-layer perceptron.
+type MLP struct {
+	Layers []Layer
+}
+
+// MLPConfig describes an MLP's topology.
+type MLPConfig struct {
+	// Dims lists the layer widths from input to output,
+	// e.g. {196, 64, 32} builds 196→64→32.
+	Dims []int
+	// Hidden is the activation after every hidden layer.
+	Hidden Activation
+	// Output is the activation after the final layer
+	// (Identity for logits, Sigmoid for [0,1] reconstructions).
+	Output Activation
+	// Init is the weight initializer; HeNormal when nil-equivalent
+	// callers pass nil.
+	Init Initializer
+}
+
+// NewMLP builds an MLP from cfg using the provided RNG for weight
+// initialization.
+func NewMLP(cfg MLPConfig, r *rng.RNG) (*MLP, error) {
+	if len(cfg.Dims) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least 2 dims, got %d", len(cfg.Dims))
+	}
+	for i, d := range cfg.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: MLP dim %d is %d, must be positive", i, d)
+		}
+	}
+	init := cfg.Init
+	if init == nil {
+		init = HeNormal
+	}
+	m := &MLP{}
+	last := len(cfg.Dims) - 2
+	for i := 0; i < len(cfg.Dims)-1; i++ {
+		m.Layers = append(m.Layers, NewDense(cfg.Dims[i], cfg.Dims[i+1], init, r))
+		if i < last {
+			m.Layers = append(m.Layers, NewAct(cfg.Hidden))
+		} else if cfg.Output != Identity {
+			m.Layers = append(m.Layers, NewAct(cfg.Output))
+		}
+	}
+	return m, nil
+}
+
+// Forward runs the batch x through every layer and returns the output.
+func (m *MLP) Forward(x *mat.Matrix) *mat.Matrix {
+	out := x
+	for _, l := range m.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Backward propagates dL/d(output) through every layer, accumulating
+// parameter gradients, and returns dL/d(input).
+func (m *MLP) Backward(grad *mat.Matrix) *mat.Matrix {
+	g := grad
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (m *MLP) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (m *MLP) NumParams() int {
+	var n int
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// savedMLP is the gob wire format: parameter payloads only. Topology
+// must be reconstructed by the caller before Load.
+type savedMLP struct {
+	Names  []string
+	Values [][]float64
+}
+
+// Save serializes the MLP's parameters to w. The topology itself is
+// not stored; Load must be called on an identically configured MLP.
+func (m *MLP) Save(w io.Writer) error {
+	var s savedMLP
+	for _, p := range m.Params() {
+		s.Names = append(s.Names, p.Name)
+		v := make([]float64, len(p.Data))
+		copy(v, p.Data)
+		s.Values = append(s.Values, v)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load restores parameters previously written by Save into m. The
+// receiver must have the same topology as the saved network.
+func (m *MLP) Load(r io.Reader) error {
+	var s savedMLP
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	ps := m.Params()
+	if len(ps) != len(s.Values) {
+		return fmt.Errorf("nn: load: have %d params, saved %d", len(ps), len(s.Values))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(s.Values[i]) {
+			return fmt.Errorf("nn: load: param %q has %d values, saved %d", p.Name, len(p.Data), len(s.Values[i]))
+		}
+		copy(p.Data, s.Values[i])
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves gradients
+	// untouched (callers ZeroGrad between batches).
+	Step(params []*Param)
+}
+
+// Adam implements the Adaptive Moment Estimation optimizer
+// (Kingma & Ba, 2015), the optimizer the paper uses for both the
+// autoencoders and the classifier.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard β₁=0.9,
+// β₂=0.999, ε=1e-8 defaults and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		m:       make(map[*Param][]float64),
+		v:       make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			a.v[p] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent with optional momentum,
+// used by a few baselines whose reference implementations specify it.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i, g := range p.Grad {
+				p.Data[i] -= s.LR * g
+			}
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			s.vel[p] = v
+		}
+		for i, g := range p.Grad {
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.Data[i] += v[i]
+		}
+	}
+}
+
+// ClipGrads rescales every gradient so the global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. Used by the GAN and RL
+// baselines whose training is otherwise unstable at small batch sizes.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}
