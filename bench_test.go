@@ -10,7 +10,9 @@
 package targad_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"targad/internal/autoencoder"
@@ -21,8 +23,31 @@ import (
 	"targad/internal/mat"
 	"targad/internal/metrics"
 	"targad/internal/nn"
+	"targad/internal/parallel"
 	"targad/internal/rng"
 )
+
+// benchWorkerCounts returns the worker counts the kernel benchmarks
+// sweep: the serial path (1) and the full pool (GOMAXPROCS, which
+// `go test -cpu 1,4,8` varies per run). Deduplicated on one-core
+// boxes.
+func benchWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// atWorkers runs the benchmark body with the pool pinned to w workers.
+func atWorkers(b *testing.B, w int, body func(b *testing.B)) {
+	b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+		prev := parallel.SetWorkers(w)
+		defer parallel.SetWorkers(prev)
+		b.ResetTimer()
+		body(b)
+	})
+}
 
 // benchConfig keeps each experiment's regeneration to seconds rather
 // than minutes so the full -bench=. sweep completes on one core. For
@@ -181,12 +206,15 @@ func BenchmarkTargADFit(b *testing.B) {
 	cfg.ClfEpochs = 8
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := core.New(cfg, int64(i))
-		if err := m.Fit(bundle.Train); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkerCounts() {
+		atWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.New(cfg, int64(i))
+				if err := m.Fit(bundle.Train); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -207,26 +235,43 @@ func BenchmarkTargADScore(b *testing.B) {
 	if err := m.Fit(bundle.Train); err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.Score(bundle.Test.X); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkerCounts() {
+		atWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Score(bundle.Test.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkMatMul(b *testing.B) {
-	r := rng.New(1)
-	a := mat.New(128, 196)
-	w := mat.New(196, 64)
-	r.FillNormal(a.Data, 0, 1)
-	r.FillNormal(w.Data, 0, 1)
-	dst := mat.New(128, 64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := mat.Mul(dst, a, w); err != nil {
-			b.Fatal(err)
-		}
+	sizes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"128x196x64", 128, 196, 64},         // classifier-batch shape
+		{"1024x1024x1024", 1024, 1024, 1024}, // square paper-scale GEMM
+	}
+	for _, sz := range sizes {
+		r := rng.New(1)
+		a := mat.New(sz.m, sz.k)
+		w := mat.New(sz.k, sz.n)
+		r.FillNormal(a.Data, 0, 1)
+		r.FillNormal(w.Data, 0, 1)
+		dst := mat.New(sz.m, sz.n)
+		b.Run(sz.name, func(b *testing.B) {
+			for _, nw := range benchWorkerCounts() {
+				atWorkers(b, nw, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := mat.Mul(dst, a, w); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
 	}
 }
 
@@ -244,11 +289,14 @@ func BenchmarkKMeans(b *testing.B) {
 	r := rng.New(3)
 	x := mat.New(1500, 41)
 	r.FillUniform(x.Data, 0, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := cluster.KMeans(x, cluster.Config{K: 4}, rng.New(int64(i))); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkerCounts() {
+		atWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.KMeans(x, cluster.Config{K: 4}, rng.New(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -257,15 +305,18 @@ func BenchmarkAutoencoderEpoch(b *testing.B) {
 	x := mat.New(1024, 41)
 	r.FillUniform(x.Data, 0, 1)
 	cfg := autoencoder.Config{InputDim: 41, Hidden: []int{20, 10}, LR: 1e-3, BatchSize: 256, Epochs: 1}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ae, err := autoencoder.New(cfg, rng.New(int64(i)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := ae.Train(x, nil, rng.New(int64(i))); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkerCounts() {
+		atWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ae, err := autoencoder.New(cfg, rng.New(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ae.Train(x, nil, rng.New(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

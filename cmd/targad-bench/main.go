@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"targad/internal/experiments"
+	"targad/internal/parallel"
 )
 
 func main() {
@@ -37,8 +38,13 @@ func main() {
 		labeled = flag.Int("labeled", 0, "override labeled anomalies per target type")
 		quiet   = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		outPath = flag.String("o", "", "also write rendered results to this file")
+		workers = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	rc := experiments.Fast()
 	if *full {

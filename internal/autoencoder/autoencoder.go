@@ -8,10 +8,10 @@ package autoencoder
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"targad/internal/mat"
 	"targad/internal/nn"
+	"targad/internal/parallel"
 	"targad/internal/rng"
 )
 
@@ -190,9 +190,11 @@ func (ae *AE) ReconstructionErrors(x *mat.Matrix) ([]float64, error) {
 		return nil, err
 	}
 	errs := make([]float64, x.Rows)
-	for i := range errs {
-		errs[i] = mat.SquaredDistance(x.Row(i), rec.Row(i))
-	}
+	parallel.ForEachChunkMin(x.Rows, 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = mat.SquaredDistance(x.Row(i), rec.Row(i))
+		}
+	})
 	return errs, nil
 }
 
@@ -213,45 +215,48 @@ func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
 	return out, nil
 }
 
-// TrainPerCluster trains one autoencoder per cluster concurrently
-// (Algorithm 1, lines 2–5). clusters[i] lists the unlabeled row
-// indices of cluster i. It returns the trained autoencoders and
-// S^Rec for every unlabeled row, computed by the AE of its own
-// cluster.
+// TrainPerCluster trains one autoencoder per cluster concurrently on
+// the shared worker pool (Algorithm 1, lines 2–5). clusters[i] lists
+// the unlabeled row indices of cluster i. It returns the trained
+// autoencoders and S^Rec for every unlabeled row, computed by the AE
+// of its own cluster.
+//
+// Each cluster's RNG stream is split from the parent serially, before
+// any training starts, so every autoencoder sees the same stream
+// regardless of worker count or scheduling — results are bitwise
+// identical to a sequential run.
 func TrainPerCluster(unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Config, r *rng.RNG) ([]*AE, []float64, error) {
 	k := len(clusters)
 	if k == 0 {
 		return nil, nil, errors.New("autoencoder: no clusters")
 	}
+	rngs := make([]*rng.RNG, k)
+	for i := range rngs {
+		rngs[i] = r.SplitN("ae", i)
+	}
 	aes := make([]*AE, k)
 	errsByCluster := make([][]float64, k)
 	firstErr := make([]error, k)
-	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
-		cr := r.SplitN("ae", i)
-		wg.Add(1)
-		go func(i int, cr *rng.RNG) {
-			defer wg.Done()
-			sub := nn.Gather(unlabeled, clusters[i])
-			ae, err := New(cfg, cr)
-			if err != nil {
-				firstErr[i] = err
-				return
-			}
-			if _, err := ae.Train(sub, labeled, cr); err != nil {
-				firstErr[i] = err
-				return
-			}
-			es, err := ae.ReconstructionErrors(sub)
-			if err != nil {
-				firstErr[i] = err
-				return
-			}
-			aes[i] = ae
-			errsByCluster[i] = es
-		}(i, cr)
-	}
-	wg.Wait()
+	parallel.Map(k, func(i int) {
+		cr := rngs[i]
+		sub := nn.Gather(unlabeled, clusters[i])
+		ae, err := New(cfg, cr)
+		if err != nil {
+			firstErr[i] = err
+			return
+		}
+		if _, err := ae.Train(sub, labeled, cr); err != nil {
+			firstErr[i] = err
+			return
+		}
+		es, err := ae.ReconstructionErrors(sub)
+		if err != nil {
+			firstErr[i] = err
+			return
+		}
+		aes[i] = ae
+		errsByCluster[i] = es
+	})
 	for _, err := range firstErr {
 		if err != nil {
 			return nil, nil, err

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"targad/internal/mat"
+	"targad/internal/parallel"
 	"targad/internal/rng"
 )
 
@@ -52,29 +53,19 @@ func KMeans(x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
 	cent := seedPlusPlus(x, cfg.K, r)
 	assign := make([]int, n)
 	sizes := make([]int, cfg.K)
+	rowd := make([]float64, n)
 	prev := math.Inf(1)
 	var inertia float64
 	var iter int
 	for iter = 0; iter < maxIters; iter++ {
-		// Assignment step.
-		inertia = 0
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			row := x.Row(i)
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < cfg.K; c++ {
-				dd := mat.SquaredDistance(row, cent.Row(c))
-				if dd < bestD {
-					best, bestD = c, dd
-				}
-			}
-			assign[i] = best
-			sizes[best]++
-			inertia += bestD
-		}
-		// Update step.
+		// Assignment step: per-row nearest centroid, in parallel
+		// chunks. sizes and inertia are folded serially in row order
+		// afterwards, so the sum is bitwise identical for any worker
+		// count.
+		inertia = assignRows(x, cent, assign, rowd, sizes)
+		// Update step: the centroid sums are cheap (O(n·d), vs the
+		// assignment's O(n·k·d)) and stay serial to preserve the exact
+		// row-order float64 accumulation of the reference path.
 		cent.Zero()
 		for i := 0; i < n; i++ {
 			mat.Axpy(1, x.Row(i), cent.Row(assign[i]))
@@ -98,23 +89,7 @@ func KMeans(x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
 
 	// Final assignment against the last centroids (update step may
 	// have moved them).
-	inertia = 0
-	for i := range sizes {
-		sizes[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		best, bestD := 0, math.Inf(1)
-		for c := 0; c < cfg.K; c++ {
-			dd := mat.SquaredDistance(row, cent.Row(c))
-			if dd < bestD {
-				best, bestD = c, dd
-			}
-		}
-		assign[i] = best
-		sizes[best]++
-		inertia += bestD
-	}
+	inertia = assignRows(x, cent, assign, rowd, sizes)
 	_ = d
 	return &Result{
 		K:          cfg.K,
@@ -124,6 +99,43 @@ func KMeans(x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
 		Inertia:    inertia,
 		Iterations: iter,
 	}, nil
+}
+
+// assignRows writes each row's nearest centroid into assign and its
+// squared distance into rowd, splitting rows across the worker pool.
+// sizes is recomputed and the returned inertia is folded serially in
+// row order, so both are bitwise identical to the serial path for any
+// worker count.
+func assignRows(x, cent *mat.Matrix, assign []int, rowd []float64, sizes []int) float64 {
+	k := cent.Rows
+	minRows := 1
+	if perRow := k * x.Cols; perRow > 0 {
+		if minRows = 32768 / perRow; minRows < 1 {
+			minRows = 1
+		}
+	}
+	parallel.ForEachChunkMin(x.Rows, minRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := mat.SquaredDistance(row, cent.Row(c)); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			assign[i] = best
+			rowd[i] = bestD
+		}
+	})
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	var inertia float64
+	for i := 0; i < x.Rows; i++ {
+		sizes[assign[i]]++
+		inertia += rowd[i]
+	}
+	return inertia
 }
 
 // seedPlusPlus picks K initial centroids with the k-means++ scheme:
@@ -187,13 +199,28 @@ func ChooseK(x *mat.Matrix, kMin, kMax int, r *rng.RNG) (int, []float64, error) 
 	if kMax > x.Rows {
 		kMax = x.Rows
 	}
-	inertias := make([]float64, 0, kMax-kMin+1)
-	for k := kMin; k <= kMax; k++ {
-		res, err := KMeans(x, Config{K: k}, r.SplitN("choosek", k))
+	// The restarts are independent; run them on the worker pool. The
+	// child RNGs are split serially first — Split consumes the parent
+	// stream, so split order must not depend on scheduling.
+	nk := kMax - kMin + 1
+	rngs := make([]*rng.RNG, nk)
+	for i := range rngs {
+		rngs[i] = r.SplitN("choosek", kMin+i)
+	}
+	inertias := make([]float64, nk)
+	errs := make([]error, nk)
+	parallel.Map(nk, func(i int) {
+		res, err := KMeans(x, Config{K: kMin + i}, rngs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		inertias[i] = res.Inertia
+	})
+	for _, err := range errs {
 		if err != nil {
 			return 0, nil, err
 		}
-		inertias = append(inertias, res.Inertia)
 	}
 	if len(inertias) == 1 {
 		return kMin, inertias, nil

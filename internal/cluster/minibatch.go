@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"targad/internal/mat"
+	"targad/internal/parallel"
 	"targad/internal/rng"
 )
 
@@ -47,19 +48,28 @@ func MiniBatchKMeans(x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, e
 	cent := seedPlusPlus(x, cfg.K, r)
 	counts := make([]float64, cfg.K)
 	assign := make([]int, batch)
+	minRows := 1
+	if perRow := cfg.K * x.Cols; perRow > 0 {
+		if minRows = 32768 / perRow; minRows < 1 {
+			minRows = 1
+		}
+	}
 	for it := 0; it < iters; it++ {
 		idx := r.Sample(n, batch)
-		// Assignment pass over the batch.
-		for bi, i := range idx {
-			row := x.Row(i)
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < cfg.K; c++ {
-				if d := mat.SquaredDistance(row, cent.Row(c)); d < bestD {
-					best, bestD = c, d
+		// Assignment pass over the batch, split across the worker
+		// pool (rows are independent; per-batch-slot writes only).
+		parallel.ForEachChunkMin(len(idx), minRows, func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				row := x.Row(idx[bi])
+				best, bestD := 0, math.Inf(1)
+				for c := 0; c < cfg.K; c++ {
+					if d := mat.SquaredDistance(row, cent.Row(c)); d < bestD {
+						best, bestD = c, d
+					}
 				}
+				assign[bi] = best
 			}
-			assign[bi] = best
-		}
+		})
 		// Per-centroid gradient step with learning rate 1/count.
 		for bi, i := range idx {
 			c := assign[bi]
@@ -73,7 +83,8 @@ func MiniBatchKMeans(x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, e
 		}
 	}
 
-	// Final full assignment for a KMeans-compatible Result.
+	// Final full assignment for a KMeans-compatible Result, in
+	// parallel chunks with a serial row-order inertia fold.
 	res := &Result{
 		K:          cfg.K,
 		Centroids:  cent,
@@ -81,17 +92,7 @@ func MiniBatchKMeans(x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, e
 		Sizes:      make([]int, cfg.K),
 		Iterations: iters,
 	}
-	for i := 0; i < n; i++ {
-		row := x.Row(i)
-		best, bestD := 0, math.Inf(1)
-		for c := 0; c < cfg.K; c++ {
-			if d := mat.SquaredDistance(row, cent.Row(c)); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		res.Assignment[i] = best
-		res.Sizes[best]++
-		res.Inertia += bestD
-	}
+	rowd := make([]float64, n)
+	res.Inertia = assignRows(x, cent, res.Assignment, rowd, res.Sizes)
 	return res, nil
 }

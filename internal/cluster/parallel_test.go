@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/parallel"
+	"targad/internal/rng"
+)
+
+func randomData(seed int64, n, d int) *mat.Matrix {
+	x := mat.New(n, d)
+	rng.New(seed).FillUniform(x.Data, 0, 1)
+	return x
+}
+
+// runAt runs fn at the given worker count and restores the previous.
+func runAt(t *testing.T, w int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(w)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func sameResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.K != b.K || a.Inertia != b.Inertia || a.Iterations != b.Iterations {
+		t.Fatalf("%s: (k,inertia,iters) = (%d,%v,%d) vs (%d,%v,%d)",
+			name, a.K, a.Inertia, a.Iterations, b.K, b.Inertia, b.Iterations)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("%s: assignment[%d] = %d vs %d", name, i, a.Assignment[i], b.Assignment[i])
+		}
+	}
+	for i := range a.Centroids.Data {
+		if a.Centroids.Data[i] != b.Centroids.Data[i] {
+			t.Fatalf("%s: centroid element %d differs bitwise", name, i)
+		}
+	}
+}
+
+func TestKMeansParallelBitwiseIdentical(t *testing.T) {
+	x := randomData(21, 1200, 24)
+	var serial, par *Result
+	runAt(t, 1, func() {
+		var err error
+		if serial, err = KMeans(x, Config{K: 5}, rng.New(7)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		runAt(t, w, func() {
+			var err error
+			if par, err = KMeans(x, Config{K: 5}, rng.New(7)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		sameResult(t, "KMeans", serial, par)
+	}
+}
+
+func TestMiniBatchKMeansParallelBitwiseIdentical(t *testing.T) {
+	x := randomData(22, 3000, 16)
+	cfg := MiniBatchConfig{K: 4, BatchSize: 512, Iters: 40}
+	var serial, par *Result
+	runAt(t, 1, func() {
+		var err error
+		if serial, err = MiniBatchKMeans(x, cfg, rng.New(9)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	runAt(t, 4, func() {
+		var err error
+		if par, err = MiniBatchKMeans(x, cfg, rng.New(9)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sameResult(t, "MiniBatchKMeans", serial, par)
+}
+
+func TestChooseKParallelBitwiseIdentical(t *testing.T) {
+	x := randomData(23, 800, 12)
+	var sk, pk int
+	var si, pi []float64
+	runAt(t, 1, func() {
+		var err error
+		if sk, si, err = ChooseK(x, 2, 6, rng.New(5)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	runAt(t, 4, func() {
+		var err error
+		if pk, pi, err = ChooseK(x, 2, 6, rng.New(5)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if sk != pk {
+		t.Fatalf("ChooseK picked k=%d serial, k=%d parallel", sk, pk)
+	}
+	for i := range si {
+		if si[i] != pi[i] {
+			t.Fatalf("inertia[%d] = %v serial, %v parallel", i, si[i], pi[i])
+		}
+	}
+}

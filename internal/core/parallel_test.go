@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"targad/internal/core"
+	"targad/internal/dataset/synth"
+	"targad/internal/parallel"
+)
+
+// fitAndScore trains a small TargAD at the given worker count and
+// returns the test-set scores.
+func fitAndScore(t *testing.T, workers int) []float64 {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+
+	bundle, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale: 0.02, Seed: 7, LabeledPerType: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.AEEpochs = 2
+	cfg.ClfEpochs = 3
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	m := core.New(cfg, 42)
+	if err := m.Fit(bundle.Train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score(bundle.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scores
+}
+
+// TestFitScoreParallelSerialIdentical is the pipeline-level
+// determinism guarantee: the whole Fit (k-means, per-cluster AE
+// training, candidate selection, classifier training) and Score run
+// must produce bitwise-identical scores whether the worker pool has 1
+// worker (the serial path) or many.
+func TestFitScoreParallelSerialIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fit determinism check is not -short")
+	}
+	serial := fitAndScore(t, 1)
+	for _, w := range []int{2, 4} {
+		par := fitAndScore(t, w)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d scores, want %d", w, len(par), len(serial))
+		}
+		for i, s := range serial {
+			if par[i] != s {
+				t.Fatalf("workers=%d: score[%d] = %v, serial %v (not bitwise identical)", w, i, par[i], s)
+			}
+		}
+	}
+}
+
+// TestScoreOnlyParallelSerialIdentical covers batch inference alone:
+// one trained model scored at several worker counts. Cheap enough to
+// always run (including under -short and -race smoke).
+func TestScoreOnlyParallelSerialIdentical(t *testing.T) {
+	bundle, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale: 0.015, Seed: 3, LabeledPerType: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 2
+	cfg.AEEpochs = 1
+	cfg.ClfEpochs = 2
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	m := core.New(cfg, 5)
+	if err := m.Fit(bundle.Train); err != nil {
+		t.Fatal(err)
+	}
+
+	score := func(w int) []float64 {
+		prev := parallel.SetWorkers(w)
+		defer parallel.SetWorkers(prev)
+		s, err := m.Score(bundle.Test.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := score(1)
+	for _, w := range []int{2, 4, 8} {
+		par := score(w)
+		for i, s := range serial {
+			if par[i] != s {
+				t.Fatalf("workers=%d: score[%d] = %v, serial %v", w, i, par[i], s)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"targad/internal/mat"
 	"targad/internal/metrics"
 	"targad/internal/nn"
+	"targad/internal/parallel"
 	"targad/internal/rng"
 )
 
@@ -500,13 +501,16 @@ func (mo *Model) buildOEPseudoLabels(n int) *mat.Matrix {
 	return y
 }
 
-// maxProbs returns ε(x) = max_j p_j(x) for every row.
+// maxProbs returns ε(x) = max_j p_j(x) for every row. The per-row
+// reductions are independent and run in parallel chunks.
 func (mo *Model) maxProbs(x *mat.Matrix) []float64 {
 	probs := nn.SoftmaxRows(mo.clf.Forward(x))
 	out := make([]float64, x.Rows)
-	for i := range out {
-		_, out[i] = mat.ArgMax(probs.Row(i))
-	}
+	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_, out[i] = mat.ArgMax(probs.Row(i))
+		}
+	})
 	return out
 }
 
@@ -565,16 +569,21 @@ func (mo *Model) Probabilities(x *mat.Matrix) (*mat.Matrix, error) {
 }
 
 // Score implements detector.Detector with Eq. (9):
-// S^tar(x) = max_{j ∈ [1,m]} p_j(x).
+// S^tar(x) = max_{j ∈ [1,m]} p_j(x). Batch inference is parallel end
+// to end — the classifier forward pass, the row softmax, and this
+// reduction all split the batch across the worker pool — and the
+// scores are bitwise identical for any worker count.
 func (mo *Model) Score(x *mat.Matrix) ([]float64, error) {
 	probs, err := mo.Probabilities(x)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, x.Rows)
-	for i := range out {
-		_, out[i] = mat.ArgMax(probs.Row(i)[:mo.m])
-	}
+	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_, out[i] = mat.ArgMax(probs.Row(i)[:mo.m])
+		}
+	})
 	return out, nil
 }
 

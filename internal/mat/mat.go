@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"targad/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -93,8 +95,33 @@ func (m *Matrix) Reshape(rows, cols int) (*Matrix, error) {
 	return &Matrix{Rows: rows, Cols: cols, Data: m.Data}, nil
 }
 
+// parChunkFlops is the minimum number of multiply-adds a parallel
+// chunk must amortize before a GEMM is split across the worker pool;
+// below roughly twice this the whole product runs serially on the
+// caller's goroutine. The value keeps per-chunk work comfortably above
+// goroutine fork-join overhead (~1µs) at float64 FMA throughput.
+const parChunkFlops = 1 << 15
+
+// minChunkFor converts a per-index cost in multiply-adds into the
+// minimum indices per parallel chunk.
+func minChunkFor(perIndexFlops int) int {
+	if perIndexFlops < 1 {
+		perIndexFlops = 1
+	}
+	m := parChunkFlops / perIndexFlops
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
 // Mul computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
 // a or b. A nil dst allocates a fresh result.
+//
+// Large products are split row-wise across the parallel worker pool.
+// Every output row is produced by exactly one worker with the same
+// accumulation order as the serial path, so the result is bitwise
+// identical for any worker count.
 func Mul(dst, a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("mat: mul %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
@@ -107,24 +134,33 @@ func Mul(dst, a, b *Matrix) (*Matrix, error) {
 		}
 		dst.Zero()
 	}
-	// ikj loop order: streams through b and dst rows sequentially.
-	for i := 0; i < a.Rows; i++ {
+	parallel.ForEachChunkMin(a.Rows, minChunkFor(a.Cols*b.Cols), func(lo, hi int) {
+		mulRows(dst, a, b, lo, hi)
+	})
+	return dst, nil
+}
+
+// mulRows computes output rows [lo,hi) of dst = a·b in ikj order,
+// streaming through b and dst rows sequentially.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return dst, nil
 }
 
 // MulATB computes dst = aᵀ·b without materializing the transpose.
+//
+// The product is split over output rows (columns of a); each dst
+// element still accumulates its a.Rows terms in increasing row order,
+// so the result is bitwise identical to the serial path for any worker
+// count.
 func MulATB(dst, a, b *Matrix) (*Matrix, error) {
 	if a.Rows != b.Rows {
 		return nil, fmt.Errorf("mat: mulATB %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
@@ -137,23 +173,32 @@ func MulATB(dst, a, b *Matrix) (*Matrix, error) {
 		}
 		dst.Zero()
 	}
+	parallel.ForEachChunkMin(a.Cols, minChunkFor(a.Rows*b.Cols), func(lo, hi int) {
+		mulATBRange(dst, a, b, lo, hi)
+	})
+	return dst, nil
+}
+
+// mulATBRange accumulates output rows [lo,hi) of dst = aᵀ·b, keeping
+// the r-major accumulation order of the serial kernel.
+func mulATBRange(dst, a, b *Matrix, lo, hi int) {
 	for r := 0; r < a.Rows; r++ {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
 		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return dst, nil
 }
 
 // MulABT computes dst = a·bᵀ without materializing the transpose.
+// Rows of the output are split across the worker pool; each is a set
+// of independent dot products, so the result is bitwise identical to
+// the serial path for any worker count.
 func MulABT(dst, a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Cols {
 		return nil, fmt.Errorf("mat: mulABT %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
@@ -165,13 +210,15 @@ func MulABT(dst, a, b *Matrix) (*Matrix, error) {
 			return nil, fmt.Errorf("mat: mulABT destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Rows, ErrShape)
 		}
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = Dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+	parallel.ForEachChunkMin(a.Rows, minChunkFor(b.Rows*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := 0; j < b.Rows; j++ {
+				drow[j] = Dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+			}
 		}
-	}
+	})
 	return dst, nil
 }
 

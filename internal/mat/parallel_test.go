@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"testing"
+
+	"targad/internal/parallel"
+	"targad/internal/rng"
+)
+
+// withWorkers runs fn at the given worker count, restoring the
+// previous count afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+// gemmCase builds random operands large enough to cross the parallel
+// cutoff (rows*inner*cols ≥ 2*parChunkFlops).
+func gemmCase(seed int64, rows, inner, cols int) (a, b *Matrix) {
+	r := rng.New(seed)
+	a = New(rows, inner)
+	b = New(inner, cols)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(b.Data, 0, 1)
+	return a, b
+}
+
+func bitwiseEqual(t *testing.T, name string, serial, par *Matrix) {
+	t.Helper()
+	if serial.Rows != par.Rows || serial.Cols != par.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, serial.Rows, serial.Cols, par.Rows, par.Cols)
+	}
+	for i, v := range serial.Data {
+		if pv := par.Data[i]; pv != v {
+			t.Fatalf("%s: element %d differs: serial %v, parallel %v", name, i, v, pv)
+		}
+	}
+}
+
+func TestMulParallelBitwiseIdentical(t *testing.T) {
+	a, b := gemmCase(11, 257, 96, 64)
+	var serial, par *Matrix
+	withWorkers(t, 1, func() { serial, _ = Mul(nil, a, b) })
+	for _, w := range []int{2, 3, 4, 8} {
+		withWorkers(t, w, func() { par, _ = Mul(nil, a, b) })
+		bitwiseEqual(t, "Mul", serial, par)
+	}
+}
+
+func TestMulATBParallelBitwiseIdentical(t *testing.T) {
+	r := rng.New(12)
+	a := New(300, 80)
+	b := New(300, 48)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(b.Data, 0, 1)
+	var serial, par *Matrix
+	withWorkers(t, 1, func() { serial, _ = MulATB(nil, a, b) })
+	for _, w := range []int{2, 4, 7} {
+		withWorkers(t, w, func() { par, _ = MulATB(nil, a, b) })
+		bitwiseEqual(t, "MulATB", serial, par)
+	}
+}
+
+func TestMulABTParallelBitwiseIdentical(t *testing.T) {
+	r := rng.New(13)
+	a := New(200, 64)
+	b := New(150, 64)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(b.Data, 0, 1)
+	var serial, par *Matrix
+	withWorkers(t, 1, func() { serial, _ = MulABT(nil, a, b) })
+	for _, w := range []int{2, 4, 8} {
+		withWorkers(t, w, func() { par, _ = MulABT(nil, a, b) })
+		bitwiseEqual(t, "MulABT", serial, par)
+	}
+}
+
+// TestMulZeroEntries guards the zero-skip removal: matrices with exact
+// zero entries (post-ReLU activations are mostly zeros) must multiply
+// identically with and without parallelism.
+func TestMulZeroEntries(t *testing.T) {
+	r := rng.New(14)
+	a := New(130, 70)
+	b := New(70, 50)
+	r.FillNormal(a.Data, 0, 1)
+	r.FillNormal(b.Data, 0, 1)
+	for i, v := range a.Data {
+		if v < 0.3 { // ~60% exact zeros, like a sparse ReLU batch
+			a.Data[i] = 0
+		}
+	}
+	// Reference by explicit triple loop.
+	want := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			got, err := Mul(nil, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Data {
+				if d := got.Data[i] - want.Data[i]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("workers=%d: element %d: got %v, want %v", w, i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}

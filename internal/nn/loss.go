@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"targad/internal/mat"
+	"targad/internal/parallel"
 )
 
 // probEps floors probabilities inside logarithms so cross-entropy and
@@ -11,11 +12,15 @@ import (
 const probEps = 1e-12
 
 // SoftmaxRows writes the row-wise softmax of logits into a new matrix.
+// Rows are independent, so large batches are split across the worker
+// pool; the result is bitwise identical for any worker count.
 func SoftmaxRows(logits *mat.Matrix) *mat.Matrix {
 	out := mat.New(logits.Rows, logits.Cols)
-	for i := 0; i < logits.Rows; i++ {
-		mat.Softmax(out.Row(i), logits.Row(i))
-	}
+	parallel.ForEachChunkMin(logits.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mat.Softmax(out.Row(i), logits.Row(i))
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,165 @@
+// Package parallel is the repository's shared deterministic compute
+// substrate: a fixed-width fork-join pool that splits index ranges into
+// contiguous chunks with a stable schedule, so that the same inputs,
+// seed, and worker count always produce bitwise-identical float64
+// results regardless of goroutine scheduling.
+//
+// Determinism contract:
+//
+//   - Chunk boundaries depend only on the range length and the worker
+//     count — never on timing. Chunk c always covers the same rows.
+//   - Callers write results into per-index (or per-chunk) slots and
+//     combine partial reductions in chunk order, so no floating-point
+//     accumulation order ever depends on which goroutine finished
+//     first.
+//   - The kernels threaded through internal/mat, internal/cluster, and
+//     internal/core go further: they parallelize only over dimensions
+//     with no cross-index accumulation, so their output is bitwise
+//     identical to the serial path for *every* worker count, not just a
+//     fixed one.
+//
+// The worker count defaults to GOMAXPROCS, can be pinned process-wide
+// with the TARGAD_WORKERS environment variable, and can be changed at
+// runtime with SetWorkers (used by benchmarks and the -workers flag of
+// cmd/targad-bench).
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured worker count (always >= 1).
+var workers atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("TARGAD_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the current worker count.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the process-wide worker count (clamped to >= 1) and
+// returns the previous value so callers can restore it.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// chunkPanic carries a worker panic to the caller's goroutine.
+type chunkPanic struct {
+	chunk int
+	value any
+}
+
+// Ranges returns the stable chunk boundaries for splitting [0,n) into
+// at most w contiguous chunks: the first n%w chunks get one extra
+// element. The schedule is a pure function of (n, w).
+func Ranges(n, w int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	base, rem := n/w, n%w
+	out := make([][2]int, w)
+	lo := 0
+	for c := 0; c < w; c++ {
+		hi := lo + base
+		if c < rem {
+			hi++
+		}
+		out[c] = [2]int{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// ForEachChunk splits [0,n) into at most Workers() contiguous chunks
+// and runs fn(lo, hi) on each, concurrently when more than one chunk
+// results. It returns after every chunk completes. A panic in any
+// chunk is re-raised in the caller (first chunk in schedule order
+// wins, for determinism).
+func ForEachChunk(n int, fn func(lo, hi int)) {
+	ForEachChunkN(Workers(), n, fn)
+}
+
+// ForEachChunkMin is ForEachChunk with a serial-cutoff guard: the
+// chunk count is capped so every chunk holds at least minPerChunk
+// indices. Ranges shorter than 2*minPerChunk therefore run serially on
+// the caller's goroutine — the "size cutoff below which the serial
+// path is kept" for small kernels.
+func ForEachChunkMin(n, minPerChunk int, fn func(lo, hi int)) {
+	if minPerChunk < 1 {
+		minPerChunk = 1
+	}
+	w := Workers()
+	if most := n / minPerChunk; most < w {
+		w = most
+	}
+	ForEachChunkN(w, n, fn)
+}
+
+// ForEachChunkN is ForEachChunk with an explicit worker count.
+func ForEachChunkN(w, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	ranges := Ranges(n, w)
+	if len(ranges) == 1 {
+		fn(0, n)
+		return
+	}
+	panics := make([]*chunkPanic, len(ranges))
+	var wg sync.WaitGroup
+	for c, rg := range ranges {
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c] = &chunkPanic{chunk: c, value: r}
+				}
+			}()
+			fn(lo, hi)
+		}(c, rg[0], rg[1])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("parallel: worker chunk %d panicked: %v", p.chunk, p.value))
+		}
+	}
+}
+
+// Map runs fn(i) for every i in [0,n), distributing indices over the
+// pool in contiguous chunks. Use it for embarrassingly parallel
+// per-item work (e.g. one autoencoder per cluster, one k-means restart
+// per candidate k). Results must be written to per-index slots.
+func Map(n int, fn func(i int)) {
+	ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Records a machine-readable perf baseline for the five worker-pool
+# benchmarks (MatMul, KMeans, AutoencoderEpoch, TargADFit,
+# TargADScore) so future PRs have a trajectory to compare against.
+#
+# Usage:
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR1.json
+#   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+cpus="${CPUS:-$(nproc)}"
+benchtime="${BENCHTIME:-}"
+
+cpu_list="1"
+if [ "$cpus" -gt 1 ]; then
+    cpu_list="1,${cpus}"
+fi
+
+args=(test -run '^$'
+    -bench 'BenchmarkMatMul|BenchmarkKMeans|BenchmarkAutoencoderEpoch|BenchmarkTargADFit|BenchmarkTargADScore'
+    -cpu "$cpu_list" -timeout 60m .)
+if [ -n "$benchtime" ]; then
+    args+=(-benchtime "$benchtime")
+fi
+
+raw="$(go "${args[@]}")"
+echo "$raw" >&2
+
+echo "$raw" | awk \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v date="$(date -u +%Y-%m-%d)" \
+    -v cpulist="$cpu_list" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    full = $1
+    iters = $2
+    ns = $3
+    # Strip the Benchmark prefix and the -GOMAXPROCS suffix (go test
+    # omits the suffix when GOMAXPROCS is 1).
+    sub(/^Benchmark/, "", full)
+    procs = 1
+    if (full ~ /-[0-9]+$/) {
+        procs = full
+        sub(/.*-/, "", procs)
+        sub(/-[0-9]+$/, "", full)
+    }
+    entries[n++] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %s, \"iterations\": %s, \"ns_per_op\": %s}",
+        full, procs, iters, ns)
+}
+END {
+    printf "{\n"
+    printf "  \"pr\": 1,\n"
+    printf "  \"description\": \"serial-vs-parallel baseline for the worker-pool benchmarks\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu_sweep\": [%s],\n", cpulist
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' > "$out"
+
+echo "wrote $out" >&2

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repository CI gate: static checks, build, the full test suite, and a
+# race-detector smoke over the parallel compute substrate.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+# Race smoke: exercise the worker-pool kernels (mat GEMMs, k-means
+# assignment, softmax batching) and the concurrent per-cluster AE
+# training with a multi-worker pool under the race detector. The core
+# package is scoped to its parallel-path determinism tests to keep the
+# smoke short; the full core suite already ran above.
+echo "== race smoke (TARGAD_WORKERS=4) =="
+TARGAD_WORKERS=4 go test -race -short -count=1 \
+    ./internal/parallel ./internal/mat ./internal/cluster
+TARGAD_WORKERS=4 go test -race -short -count=1 \
+    -run 'TrainPerCluster' ./internal/autoencoder
+TARGAD_WORKERS=4 go test -race -short -count=1 \
+    -run 'ParallelSerialIdentical' ./internal/core
+
+echo "CI OK"
