@@ -1,0 +1,48 @@
+package autoencoder
+
+import (
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/parallel"
+	"targad/internal/rng"
+)
+
+// TestTrainEpochSteadyStateAllocs verifies the autoencoder's epoch
+// loop allocates nothing once its workspaces are warm. Each Train call
+// pays a fixed setup cost (optimizer state, batcher, loss slice), so
+// the per-epoch cost is isolated by differencing a 1-epoch and a
+// 6-epoch run of otherwise identical configuration: the extra five
+// epochs must add zero allocations.
+func TestTrainEpochSteadyStateAllocs(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	x := mat.New(128, 12)
+	rng.New(1).FillUniform(x.Data, 0, 1)
+	lab := mat.New(6, 12)
+	rng.New(2).FillUniform(lab.Data, 0, 1)
+
+	run := func(epochs int) func() {
+		cfg := Config{InputDim: 12, Hidden: []int{8, 4}, Eta: 1, LR: 1e-3, BatchSize: 32, Epochs: epochs}
+		ae, err := New(cfg, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the workspaces so AllocsPerRun sees only steady state.
+		if _, err := ae.Train(x, lab, rng.New(4)); err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			if _, err := ae.Train(x, lab, rng.New(5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	short := testing.AllocsPerRun(3, run(1))
+	long := testing.AllocsPerRun(3, run(6))
+	if extra := long - short; extra > 0.5 {
+		t.Fatalf("5 extra epochs allocate %.1f times (1 epoch: %.1f, 6 epochs: %.1f), want 0", extra, short, long)
+	}
+}

@@ -68,6 +68,12 @@ const invErrEps = 1e-3
 type AE struct {
 	cfg Config
 	net *nn.MLP
+
+	// Training workspaces, sized on first use and reused across batches
+	// and Train calls so steady-state epochs allocate nothing.
+	xb    *mat.Matrix // gathered unlabeled mini-batch
+	grad  *mat.Matrix // reconstruction-loss gradient
+	gradL *mat.Matrix // inverse-loss gradient for labeled anomalies
 }
 
 // New builds an untrained autoencoder.
@@ -120,18 +126,20 @@ func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, erro
 		nb := batcher.BatchesPerEpoch()
 		for b := 0; b < nb; b++ {
 			idx := batcher.Next()
-			xb := nn.Gather(unlabeled, idx)
+			ae.xb = nn.GatherInto(ae.xb, unlabeled, idx)
 			ae.net.ZeroGrad()
 
 			// Unlabeled reconstruction term.
-			rec := ae.net.Forward(xb)
-			loss, grad := reconLossGrad(rec, xb)
+			rec := ae.net.Forward(ae.xb)
+			loss, grad := reconLossGradInto(ae.grad, rec, ae.xb)
+			ae.grad = grad
 			ae.net.Backward(grad)
 
 			// Labeled inverse-error term (Eq. 1, second summand).
 			if useLabeled {
 				recL := ae.net.Forward(labeled)
-				l2, g2 := inverseLossGrad(recL, labeled, ae.cfg.Eta)
+				l2, g2 := inverseLossGradInto(ae.gradL, recL, labeled, ae.cfg.Eta)
+				ae.gradL = g2
 				ae.net.Backward(g2)
 				loss += l2
 			}
@@ -143,10 +151,11 @@ func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, erro
 	return losses, nil
 }
 
-// reconLossGrad returns (1/n)Σ‖x−r‖² and its gradient w.r.t. r.
-func reconLossGrad(rec, x *mat.Matrix) (float64, *mat.Matrix) {
+// reconLossGradInto returns (1/n)Σ‖x−r‖² and its gradient w.r.t. r,
+// written into dst (grown or allocated via mat.Ensure and returned).
+func reconLossGradInto(dst, rec, x *mat.Matrix) (float64, *mat.Matrix) {
 	n := float64(rec.Rows)
-	grad := mat.New(rec.Rows, rec.Cols)
+	grad := mat.Ensure(dst, rec.Rows, rec.Cols)
 	var loss float64
 	for i, rv := range rec.Data {
 		d := rv - x.Data[i]
@@ -156,10 +165,12 @@ func reconLossGrad(rec, x *mat.Matrix) (float64, *mat.Matrix) {
 	return loss / n, grad
 }
 
-// inverseLossGrad returns (η/n)Σ(‖x−r‖²)⁻¹ and its gradient w.r.t. r.
-func inverseLossGrad(rec, x *mat.Matrix, eta float64) (float64, *mat.Matrix) {
+// inverseLossGradInto returns (η/n)Σ(‖x−r‖²)⁻¹ and its gradient
+// w.r.t. r, written into dst (grown or allocated via mat.Ensure and
+// returned).
+func inverseLossGradInto(dst, rec, x *mat.Matrix, eta float64) (float64, *mat.Matrix) {
 	n := float64(rec.Rows)
-	grad := mat.New(rec.Rows, rec.Cols)
+	grad := mat.Ensure(dst, rec.Rows, rec.Cols)
 	var loss float64
 	for i := 0; i < rec.Rows; i++ {
 		rr, xr := rec.Row(i), x.Row(i)
@@ -175,20 +186,24 @@ func inverseLossGrad(rec, x *mat.Matrix, eta float64) (float64, *mat.Matrix) {
 }
 
 // Reconstruct returns the autoencoder's reconstruction of each row.
+// The result is caller-owned (a copy, not the network's workspace), so
+// it survives later forward passes through the same autoencoder.
 func (ae *AE) Reconstruct(x *mat.Matrix) (*mat.Matrix, error) {
 	if x.Cols != ae.cfg.InputDim {
 		return nil, fmt.Errorf("autoencoder: input dim %d, want %d", x.Cols, ae.cfg.InputDim)
 	}
-	return ae.net.Forward(x), nil
+	return ae.net.Forward(x).Clone(), nil
 }
 
 // ReconstructionErrors returns S^Rec(x) = ‖x − φ_D(φ_E(x))‖² (Eq. 2)
 // for every row of x.
 func (ae *AE) ReconstructionErrors(x *mat.Matrix) ([]float64, error) {
-	rec, err := ae.Reconstruct(x)
-	if err != nil {
-		return nil, err
+	if x.Cols != ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: input dim %d, want %d", x.Cols, ae.cfg.InputDim)
 	}
+	// The network's own output buffer is read immediately, so no copy
+	// is needed here.
+	rec := ae.net.Forward(x)
 	errs := make([]float64, x.Rows)
 	parallel.ForEachChunkMin(x.Rows, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -200,7 +215,9 @@ func (ae *AE) ReconstructionErrors(x *mat.Matrix) ([]float64, error) {
 
 // Encoder returns the latent representation of each row (the output of
 // the bottleneck layer). Used by DeepSAD-style baselines that reuse a
-// pretrained encoder.
+// pretrained encoder. The result is caller-owned (a copy, not the
+// network's workspace), so it survives later forward passes through
+// the same autoencoder.
 func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
 	if x.Cols != ae.cfg.InputDim {
 		return nil, fmt.Errorf("autoencoder: input dim %d, want %d", x.Cols, ae.cfg.InputDim)
@@ -212,7 +229,7 @@ func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
 	for i := 0; i < nEnc && i < len(ae.net.Layers); i++ {
 		out = ae.net.Layers[i].Forward(out)
 	}
-	return out, nil
+	return out.Clone(), nil
 }
 
 // TrainPerCluster trains one autoencoder per cluster concurrently on

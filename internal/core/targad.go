@@ -337,6 +337,10 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 	labBat := nn.NewBatcher(xa.Rows, min(mo.cfg.ClfBatch, xa.Rows), r.Split("labbat"))
 	candBat := nn.NewBatcher(cand.Rows, mo.cfg.ClfBatch, r.Split("candbat"))
 
+	// Per-batch workspaces, sized on first use and reused for the whole
+	// training run so the steady-state epoch loop allocates nothing.
+	var ws clfWS
+
 	bestVal := -1.0
 	var bestParams [][]float64
 	// Best-epoch selection needs a validation AUPRC that is more than
@@ -380,22 +384,27 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 			// candidates receive nearly all of it and the handful
 			// of labeled anomalies almost none.
 			nidx := normBat.Next()
-			loss += mo.superviseStep(nn.Gather(xn, nidx), nn.Gather(yn, nidx), reFracN)
+			ws.xb = nn.GatherInto(ws.xb, xn, nidx)
+			ws.yb = nn.GatherInto(ws.yb, yn, nidx)
+			loss += mo.superviseStep(ws.xb, ws.yb, reFracN, &ws)
 
 			// L_CE, labeled-anomaly term. Its separate 1/|D_L|
 			// normalization is what lets a few hundred labels
 			// counterbalance tens of thousands of normal candidates.
 			lidx := labBat.Next()
-			loss += mo.superviseStep(nn.Gather(xa, lidx), nn.Gather(ya, lidx), reFracL)
+			ws.xb = nn.GatherInto(ws.xb, xa, lidx)
+			ws.yb = nn.GatherInto(ws.yb, ya, lidx)
+			loss += mo.superviseStep(ws.xb, ws.yb, reFracL, &ws)
 
 			// L_OE over the non-target anomaly candidates.
 			if mo.cfg.UseOE && mo.cfg.Lambda1 != 0 && cand.Rows > 0 {
 				cidx := candBat.Next()
-				cb := nn.Gather(cand, cidx)
-				cy := nn.Gather(candY, cidx)
-				cw := nn.GatherVec(weights, cidx)
-				clogits := mo.clf.Forward(cb)
-				oeLoss, oeGrad := nn.SoftCrossEntropy(clogits, cy, cw)
+				ws.xb = nn.GatherInto(ws.xb, cand, cidx)
+				ws.yb = nn.GatherInto(ws.yb, candY, cidx)
+				ws.cw = nn.GatherVecInto(ws.cw, weights, cidx)
+				clogits := mo.clf.Forward(ws.xb)
+				oeLoss, oeGrad := nn.SoftCrossEntropyInto(ws.gradCE, clogits, ws.yb, ws.cw)
+				ws.gradCE = oeGrad
 				mat.Scale(mo.cfg.Lambda1, oeGrad.Data)
 				mo.clf.Backward(oeGrad)
 				loss += mo.cfg.Lambda1 * oeLoss
@@ -464,18 +473,31 @@ func defaultClfHidden(d int) []int {
 	return []int{h1, h2}
 }
 
+// clfWS holds the classifier training loop's reusable batch buffers:
+// gathered inputs/targets, OE weights, and loss gradients. All are
+// grown on first use via the Into helpers and reused across batches
+// and epochs.
+type clfWS struct {
+	xb, yb         *mat.Matrix
+	gradCE, gradRE *mat.Matrix
+	cw             []float64
+}
+
 // superviseStep backpropagates one batch's cross-entropy plus its
 // share of the entropy regularizer (Eq. 7) and returns the batch
 // loss. reFrac is the batch's set-size fraction of |D_L| + |D_U^N|,
 // implementing Eq. (7)'s combined normalization; minimizing the
 // entropy boosts prediction confidence on D_L ∪ D_U^N as Section
 // III-B2 describes (the printed equation omits the leading minus).
-func (mo *Model) superviseStep(xb, yb *mat.Matrix, reFrac float64) float64 {
+// Gradients are written into ws's buffers.
+func (mo *Model) superviseStep(xb, yb *mat.Matrix, reFrac float64, ws *clfWS) float64 {
 	logits := mo.clf.Forward(xb)
-	loss, grad := nn.SoftCrossEntropy(logits, yb, nil)
+	loss, grad := nn.SoftCrossEntropyInto(ws.gradCE, logits, yb, nil)
+	ws.gradCE = grad
 	if mo.cfg.UseRE && mo.cfg.Lambda2 != 0 {
 		w := mo.cfg.Lambda2 * reFrac
-		reLoss, reGrad := nn.Entropy(logits)
+		reLoss, reGrad := nn.EntropyInto(ws.gradRE, logits)
+		ws.gradRE = reGrad
 		loss += w * reLoss
 		for i := range grad.Data {
 			grad.Data[i] += w * reGrad.Data[i]
@@ -548,7 +570,10 @@ func argsortDesc(v []float64) []int {
 	return idx
 }
 
-// Logits returns the classifier's raw outputs for each row of x.
+// Logits returns the classifier's raw outputs for each row of x. The
+// returned matrix is the network's own output workspace: it is valid
+// until the next forward or training pass through this model, and
+// callers needing it longer must Clone it.
 func (mo *Model) Logits(x *mat.Matrix) (*mat.Matrix, error) {
 	if mo.clf == nil {
 		return nil, errors.New("targad: model is not fitted")

@@ -1,0 +1,303 @@
+package mat
+
+import (
+	"errors"
+	"testing"
+
+	"targad/internal/parallel"
+)
+
+// fillDet fills data with a deterministic, scale-varied pattern so
+// accumulation-order differences would show up as bit differences.
+func fillDet(data []float64, seed uint64) {
+	s := seed*2862933555777941757 + 3037000493
+	for i := range data {
+		s = s*2862933555777941757 + 3037000493
+		// Map to roughly [-4, 4) with enough mantissa variety that
+		// re-associated sums would not round identically.
+		data[i] = float64(int64(s>>11))/(1<<51) * 4
+	}
+}
+
+// mulRef is an order-faithful serial reference for a·b: each element
+// accumulates its k terms in increasing order, exactly the canonical
+// chain contract of the blocked kernel.
+func mulRef(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var c float64
+			for k := 0; k < a.Cols; k++ {
+				c += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, c)
+		}
+	}
+	return out
+}
+
+func transposeRef(a *Matrix) *Matrix {
+	t := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Set(j, i, a.At(i, j))
+		}
+	}
+	return t
+}
+
+func requireBitwise(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: got %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bitwise)", name, i, v, want.Data[i])
+		}
+	}
+}
+
+// gemmShapes mixes shapes that engage the blocked kernel (with every
+// remainder class of the 4-row register tile, the 4-wide k unroll, and
+// the 64-column panel) with shapes below the cutoff.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 8, 64},    // single row, naive (below flop cutoff)
+	{3, 7, 5},     // shallow k, naive
+	{64, 32, 64},  // blocked, exact tiles
+	{65, 32, 64},  // blocked, 1-row remainder
+	{66, 33, 65},  // blocked, 2-row + k and panel remainders
+	{67, 31, 130}, // blocked, 3-row remainder, 3 panels
+	{4, 128, 129}, // blocked, single quad, panel remainder
+	{5, 257, 64},  // blocked, k remainder 1
+	{128, 8, 64},  // blocked at minimum depth
+	{128, 7, 64},  // naive: below minimum depth despite flops
+}
+
+func TestBlockedMulMatchesNaive(t *testing.T) {
+	for _, s := range gemmShapes {
+		a := New(s.m, s.k)
+		b := New(s.k, s.n)
+		fillDet(a.Data, uint64(s.m*1000+s.k))
+		fillDet(b.Data, uint64(s.k*1000+s.n))
+		got, err := Mul(nil, a, b)
+		if err != nil {
+			t.Fatalf("Mul(%dx%d,%dx%d): %v", s.m, s.k, s.k, s.n, err)
+		}
+		requireBitwise(t, "Mul", got, mulRef(a, b))
+	}
+}
+
+func TestBlockedMulATBMatchesNaive(t *testing.T) {
+	for _, s := range gemmShapes {
+		// aᵀ·b with a of shape k×m so the product is m×n.
+		a := New(s.k, s.m)
+		b := New(s.k, s.n)
+		fillDet(a.Data, uint64(s.m*2000+s.k))
+		fillDet(b.Data, uint64(s.k*2000+s.n))
+		got, err := MulATB(nil, a, b)
+		if err != nil {
+			t.Fatalf("MulATB: %v", err)
+		}
+		requireBitwise(t, "MulATB", got, mulRef(transposeRef(a), b))
+	}
+}
+
+func TestBlockedMulABTMatchesNaive(t *testing.T) {
+	for _, s := range gemmShapes {
+		a := New(s.m, s.k)
+		b := New(s.n, s.k)
+		fillDet(a.Data, uint64(s.m*3000+s.k))
+		fillDet(b.Data, uint64(s.k*3000+s.n))
+		got, err := MulABT(nil, a, b)
+		if err != nil {
+			t.Fatalf("MulABT: %v", err)
+		}
+		requireBitwise(t, "MulABT", got, mulRef(a, transposeRef(b)))
+	}
+}
+
+// TestGemmCutoff pins the dispatch predicate at its boundary: results
+// must agree with the reference on both sides, and the predicate must
+// depend only on shape.
+func TestGemmCutoff(t *testing.T) {
+	if gemmBlocked(16, gemmMinDepth-1, 1<<16) {
+		t.Fatal("blocked kernel engaged below minimum depth")
+	}
+	if !gemmBlocked(32, 32, 64) {
+		t.Fatal("blocked kernel not engaged above cutoff")
+	}
+	if gemmBlocked(4, 32, 4) {
+		t.Fatal("blocked kernel engaged below flop cutoff")
+	}
+	for _, k := range []int{gemmMinDepth - 1, gemmMinDepth} {
+		a := New(96, k)
+		b := New(k, 96)
+		fillDet(a.Data, uint64(k))
+		fillDet(b.Data, uint64(k)+7)
+		got, err := Mul(nil, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitwise(t, "Mul@cutoff", got, mulRef(a, b))
+	}
+}
+
+// TestBlockedMulWorkerInvariance locks the bitwise-identical-across-
+// worker-counts contract on a shape large enough to engage the packed
+// kernel and split across workers (also exercised under -race by the
+// CI smoke).
+func TestBlockedMulWorkerInvariance(t *testing.T) {
+	a := New(130, 64)
+	b := New(64, 96)
+	fillDet(a.Data, 11)
+	fillDet(b.Data, 13)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	base, err := Mul(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		parallel.SetWorkers(w)
+		got, err := Mul(nil, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitwise(t, "Mul workers", got, base)
+		gotT, err := MulATB(nil, transposeRef(a), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitwise(t, "MulATB workers", gotT, base)
+	}
+}
+
+func TestMulATBAccAccumulates(t *testing.T) {
+	for _, s := range gemmShapes {
+		a := New(s.k, s.m)
+		b := New(s.k, s.n)
+		fillDet(a.Data, uint64(s.m*4000+s.k))
+		fillDet(b.Data, uint64(s.k*4000+s.n))
+		dst := New(s.m, s.n)
+		fillDet(dst.Data, 99)
+		want := dst.Clone()
+		prod := mulRef(transposeRef(a), b)
+		for i := range want.Data {
+			want.Data[i] += prod.Data[i]
+		}
+		if _, err := MulATBAcc(dst, a, b); err != nil {
+			t.Fatalf("MulATBAcc: %v", err)
+		}
+		requireBitwise(t, "MulATBAcc", dst, want)
+	}
+}
+
+// TestMulATBAccParamView exercises the intended Dense.Backward use: dst
+// is a view over a flat gradient buffer, accumulated into twice.
+func TestMulATBAccParamView(t *testing.T) {
+	grad := make([]float64, 6*4)
+	a := New(9, 6)
+	b := New(9, 4)
+	fillDet(a.Data, 21)
+	fillDet(b.Data, 22)
+	view := &Matrix{Rows: 6, Cols: 4, Data: grad}
+	if _, err := MulATBAcc(view, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MulATBAcc(view, a, b); err != nil {
+		t.Fatal(err)
+	}
+	prod := mulRef(transposeRef(a), b)
+	for i := range grad {
+		if want := prod.Data[i] + prod.Data[i]; grad[i] != want {
+			t.Fatalf("grad[%d] = %v, want %v after two accumulations", i, grad[i], want)
+		}
+	}
+}
+
+func TestMulATBAccShapeErrors(t *testing.T) {
+	a := New(4, 3)
+	b := New(4, 2)
+	if _, err := MulATBAcc(nil, a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil dst: err = %v, want ErrShape", err)
+	}
+	if _, err := MulATBAcc(New(3, 2), New(5, 3), b); !errors.Is(err, ErrShape) {
+		t.Fatalf("inner mismatch: err = %v, want ErrShape", err)
+	}
+	if _, err := MulATBAcc(New(2, 2), a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("dst shape: err = %v, want ErrShape", err)
+	}
+}
+
+func TestColSumsInto(t *testing.T) {
+	m := New(3, 4)
+	fillDet(m.Data, 31)
+	want := ColSums(m)
+
+	// Reuse overwrites stale contents rather than accumulating.
+	dst := []float64{1e9, -1e9, 42, 7}
+	got := ColSumsInto(dst, m)
+	if &got[0] != &dst[0] {
+		t.Fatal("ColSumsInto reallocated a correctly sized dst")
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ColSumsInto accepted a wrong-length dst")
+		}
+	}()
+	ColSumsInto(make([]float64, 3), m)
+}
+
+func TestEnsure(t *testing.T) {
+	m := Ensure(nil, 3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("Ensure(nil) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	base := &m.Data[0]
+	// Shrinking and regrowing within capacity must keep the backing
+	// array (the whole point of the workspace primitive).
+	m = Ensure(m, 2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 || &m.Data[0] != base {
+		t.Fatal("Ensure shrink reallocated or mis-shaped")
+	}
+	m = Ensure(m, 3, 4)
+	if len(m.Data) != 12 || &m.Data[0] != base {
+		t.Fatal("Ensure regrow within capacity reallocated")
+	}
+	m = Ensure(m, 5, 5)
+	if m.Rows != 5 || m.Cols != 5 || len(m.Data) != 25 {
+		t.Fatal("Ensure grow mis-shaped")
+	}
+}
+
+// TestMulSteadyStateAllocs verifies the pack-buffer pool: repeated
+// blocked products allocate nothing once warmed up.
+func TestMulSteadyStateAllocs(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	a := New(64, 32)
+	b := New(32, 64)
+	fillDet(a.Data, 41)
+	fillDet(b.Data, 43)
+	dst := New(64, 64)
+	if !gemmBlocked(a.Rows, a.Cols, b.Cols) {
+		t.Fatal("test shape must engage the blocked kernel")
+	}
+	if _, err := Mul(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := Mul(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("steady-state blocked Mul allocates %.1f times per call, want 0", n)
+	}
+}

@@ -7,6 +7,19 @@
 // The package is deliberately small and allocation-conscious: hot paths
 // (gemm, axpy) accept destination buffers so training loops can reuse
 // memory across iterations.
+//
+// # Buffer ownership
+//
+// Destination-taking kernels (Mul, MulATB, MulABT, MulATBAcc,
+// ColSumsInto, Softmax) follow one contract: the CALLER owns dst, the
+// kernel fully overwrites it (or, for the explicit Acc variants,
+// performs exactly one add per element), and dst must not alias an
+// input operand. Ensure is the companion primitive for reusable
+// workspaces: it reshapes a buffer in place when capacity allows and
+// leaves the contents unspecified, which is safe precisely because
+// every kernel overwrites dst. Views (Row, Reshape, a Matrix wrapping
+// a Param's slice) alias their parent storage by design; writing
+// through a view writes through to the parent.
 package mat
 
 import (
@@ -95,6 +108,29 @@ func (m *Matrix) Reshape(rows, cols int) (*Matrix, error) {
 	return &Matrix{Rows: rows, Cols: cols, Data: m.Data}, nil
 }
 
+// Ensure returns a rows×cols matrix backed by m's storage when its
+// capacity allows, allocating a fresh backing array otherwise. m may
+// be nil. The contents are unspecified — callers must fully overwrite
+// them — which makes Ensure the primitive behind every reusable
+// workspace buffer: training loops call it once per batch and pay an
+// allocation only when the requested shape outgrows the capacity high
+// water mark.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if m == nil {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // parChunkFlops is the minimum number of multiply-adds a parallel
 // chunk must amortize before a GEMM is split across the worker pool;
 // below roughly twice this the whole product runs serially on the
@@ -116,23 +152,41 @@ func minChunkFor(perIndexFlops int) int {
 }
 
 // Mul computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
-// a or b. A nil dst allocates a fresh result.
+// a or b. A nil dst allocates a fresh result. Every dst element is
+// fully overwritten; pre-existing contents never matter.
 //
-// Large products are split row-wise across the parallel worker pool.
-// Every output row is produced by exactly one worker with the same
-// accumulation order as the serial path, so the result is bitwise
-// identical for any worker count.
+// Large products are split row-wise across the parallel worker pool
+// and, above a flop cutoff, run the cache-blocked packed kernel of
+// gemm.go. Every output element is one strictly k-increasing
+// accumulator chain regardless of path or worker count, so the result
+// is bitwise identical for any worker count.
 func Mul(dst, a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("mat: mul %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
 	}
 	if dst == nil {
 		dst = New(a.Rows, b.Cols)
-	} else {
-		if dst.Rows != a.Rows || dst.Cols != b.Cols {
-			return nil, fmt.Errorf("mat: mul destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Cols, ErrShape)
+	} else if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return nil, fmt.Errorf("mat: mul destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Cols, ErrShape)
+	}
+	if gemmBlocked(a.Rows, a.Cols, b.Cols) {
+		bt := grabPack(b.Rows * b.Cols)
+		packTransposeInto(bt.data, b)
+		if parallel.Workers() == 1 {
+			// No closure is created on the serial path, keeping
+			// steady-state calls allocation-free.
+			gemmPackedRows(dst, a, bt.data, 0, a.Rows, false)
+		} else {
+			parallel.ForEachChunkMin(a.Rows, minChunkFor(a.Cols*b.Cols), func(lo, hi int) {
+				gemmPackedRows(dst, a, bt.data, lo, hi, false)
+			})
 		}
-		dst.Zero()
+		releasePack(bt)
+		return dst, nil
+	}
+	if parallel.Workers() == 1 {
+		mulRows(dst, a, b, 0, a.Rows)
+		return dst, nil
 	}
 	parallel.ForEachChunkMin(a.Rows, minChunkFor(a.Cols*b.Cols), func(lo, hi int) {
 		mulRows(dst, a, b, lo, hi)
@@ -141,11 +195,15 @@ func Mul(dst, a, b *Matrix) (*Matrix, error) {
 }
 
 // mulRows computes output rows [lo,hi) of dst = a·b in ikj order,
-// streaming through b and dst rows sequentially.
+// streaming through b and dst rows sequentially. Each dst row is
+// zeroed before accumulation, so dst need not be cleared by callers.
 func mulRows(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for k, av := range arow {
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
@@ -167,21 +225,86 @@ func MulATB(dst, a, b *Matrix) (*Matrix, error) {
 	}
 	if dst == nil {
 		dst = New(a.Cols, b.Cols)
-	} else {
-		if dst.Rows != a.Cols || dst.Cols != b.Cols {
-			return nil, fmt.Errorf("mat: mulATB destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Cols, b.Cols, ErrShape)
+	} else if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return nil, fmt.Errorf("mat: mulATB destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Cols, b.Cols, ErrShape)
+	}
+	mulATBInto(dst, a, b, false)
+	return dst, nil
+}
+
+// MulATBAcc computes dst += aᵀ·b: the accumulate variant of MulATB
+// used by Dense.Backward to write straight into a parameter's gradient
+// buffer (dst is typically a view aliasing Param.Grad). dst must be
+// non-nil, a.Cols×b.Cols, and must not alias a or b. Each dst element
+// receives exactly one add of a complete r-increasing product chain,
+// matching MulATB-then-Axpy bitwise.
+func MulATBAcc(dst, a, b *Matrix) (*Matrix, error) {
+	if dst == nil {
+		return nil, fmt.Errorf("mat: mulATBAcc needs a destination: %w", ErrShape)
+	}
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("mat: mulATBAcc %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrShape)
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return nil, fmt.Errorf("mat: mulATBAcc destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Cols, b.Cols, ErrShape)
+	}
+	mulATBInto(dst, a, b, true)
+	return dst, nil
+}
+
+// mulATBInto dispatches aᵀ·b between the packed blocked kernel and the
+// naive fallbacks. Both left and right operands are packed transposed
+// (aᵀ is materialized so its rows are contiguous; bᵀ so each b column
+// is contiguous), then the shared row kernel runs over dst rows.
+func mulATBInto(dst, a, b *Matrix, acc bool) {
+	serial := parallel.Workers() == 1
+	if gemmBlocked(a.Cols, a.Rows, b.Cols) {
+		at := grabPack(a.Cols * a.Rows)
+		packTransposeInto(at.data, a)
+		bt := grabPack(b.Cols * b.Rows)
+		packTransposeInto(bt.data, b)
+		if serial {
+			atM := Matrix{Rows: a.Cols, Cols: a.Rows, Data: at.data}
+			gemmPackedRows(dst, &atM, bt.data, 0, a.Cols, acc)
+		} else {
+			atM := &Matrix{Rows: a.Cols, Cols: a.Rows, Data: at.data}
+			parallel.ForEachChunkMin(a.Cols, minChunkFor(a.Rows*b.Cols), func(lo, hi int) {
+				gemmPackedRows(dst, atM, bt.data, lo, hi, acc)
+			})
 		}
-		dst.Zero()
+		releasePack(bt)
+		releasePack(at)
+		return
+	}
+	if acc {
+		if serial {
+			mulATBAccRange(dst, a, b, 0, a.Cols)
+			return
+		}
+		parallel.ForEachChunkMin(a.Cols, minChunkFor(a.Rows*b.Cols), func(lo, hi int) {
+			mulATBAccRange(dst, a, b, lo, hi)
+		})
+		return
+	}
+	if serial {
+		mulATBRange(dst, a, b, 0, a.Cols)
+		return
 	}
 	parallel.ForEachChunkMin(a.Cols, minChunkFor(a.Rows*b.Cols), func(lo, hi int) {
 		mulATBRange(dst, a, b, lo, hi)
 	})
-	return dst, nil
 }
 
-// mulATBRange accumulates output rows [lo,hi) of dst = aᵀ·b, keeping
-// the r-major accumulation order of the serial kernel.
+// mulATBRange computes output rows [lo,hi) of dst = aᵀ·b, keeping the
+// r-major accumulation order of the serial kernel. Rows [lo,hi) are
+// zeroed before accumulation, so dst need not be cleared by callers.
 func mulATBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
 	for r := 0; r < a.Rows; r++ {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
 		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
@@ -191,6 +314,22 @@ func mulATBRange(dst, a, b *Matrix, lo, hi int) {
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
+		}
+	}
+}
+
+// mulATBAccRange adds rows [lo,hi) of aᵀ·b into dst. Each element's
+// product chain accumulates in a register over r (same order as
+// mulATBRange) and lands in dst with a single add.
+func mulATBAccRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			var c float64
+			for r := 0; r < a.Rows; r++ {
+				c += a.Data[r*a.Cols+i] * b.Data[r*b.Cols+j]
+			}
+			drow[j] += c
 		}
 	}
 }
@@ -210,16 +349,38 @@ func MulABT(dst, a, b *Matrix) (*Matrix, error) {
 			return nil, fmt.Errorf("mat: mulABT destination %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, a.Rows, b.Rows, ErrShape)
 		}
 	}
-	parallel.ForEachChunkMin(a.Rows, minChunkFor(b.Rows*b.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := 0; j < b.Rows; j++ {
-				drow[j] = Dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
-			}
+	if gemmBlocked(a.Rows, a.Cols, b.Rows) {
+		// b's rows are already contiguous, i.e. b.Data is (bᵀ)ᵀ packed
+		// exactly as gemmPackedRows wants — no packing pass needed.
+		if parallel.Workers() == 1 {
+			gemmPackedRows(dst, a, b.Data, 0, a.Rows, false)
+			return dst, nil
 		}
+		parallel.ForEachChunkMin(a.Rows, minChunkFor(a.Cols*b.Rows), func(lo, hi int) {
+			gemmPackedRows(dst, a, b.Data, lo, hi, false)
+		})
+		return dst, nil
+	}
+	if parallel.Workers() == 1 {
+		mulABTRows(dst, a, b, 0, a.Rows)
+		return dst, nil
+	}
+	parallel.ForEachChunkMin(a.Rows, minChunkFor(b.Rows*b.Cols), func(lo, hi int) {
+		mulABTRows(dst, a, b, lo, hi)
 	})
 	return dst, nil
+}
+
+// mulABTRows computes output rows [lo,hi) of dst = a·bᵀ as independent
+// dot products.
+func mulABTRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+		}
+	}
 }
 
 // Transpose returns a newly allocated aᵀ.
@@ -272,14 +433,32 @@ func AddRowVector(m *Matrix, v []float64) error {
 
 // ColSums returns the per-column sums of m.
 func ColSums(m *Matrix) []float64 {
-	s := make([]float64, m.Cols)
+	return ColSumsInto(nil, m)
+}
+
+// ColSumsInto writes the per-column sums of m into dst and returns it.
+// A nil dst allocates; otherwise len(dst) must equal m.Cols (it panics
+// on a mismatch, matching Softmax's convention for vector helpers).
+// dst is overwritten, not accumulated into, and must not alias m's
+// data.
+func ColSumsInto(dst []float64, m *Matrix) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	} else {
+		if len(dst) != m.Cols {
+			panic(fmt.Sprintf("mat: colsums destination len %d, want %d", len(dst), m.Cols))
+		}
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			s[j] += v
+			dst[j] += v
 		}
 	}
-	return s
+	return dst
 }
 
 // SquaredDistance returns ‖a−b‖² for equally sized vectors.

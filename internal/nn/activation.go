@@ -39,12 +39,14 @@ func (a Activation) String() string {
 const leakySlope = 0.01
 
 // ActLayer applies an Activation element-wise. It stores the forward
-// output so Backward can compute the local derivative cheaply.
+// output so Backward can compute the local derivative cheaply. The
+// output buffer is a layer-owned workspace reused across batches, and
+// Backward runs in place on its grad argument.
 type ActLayer struct {
 	Act Activation
 
 	lastIn  *mat.Matrix
-	lastOut *mat.Matrix
+	lastOut *mat.Matrix // workspace, reused across Forward calls
 }
 
 // NewAct returns an activation layer.
@@ -53,12 +55,16 @@ func NewAct(a Activation) *ActLayer { return &ActLayer{Act: a} }
 // Forward implements Layer.
 func (l *ActLayer) Forward(x *mat.Matrix) *mat.Matrix {
 	l.lastIn = x
-	out := mat.New(x.Rows, x.Cols)
+	out := mat.Ensure(l.lastOut, x.Rows, x.Cols)
 	switch l.Act {
 	case ReLU:
+		// The workspace holds stale values, so zeros are written
+		// explicitly rather than relying on a fresh allocation.
 		for i, v := range x.Data {
 			if v > 0 {
 				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	case LeakyReLU:
@@ -84,41 +90,39 @@ func (l *ActLayer) Forward(x *mat.Matrix) *mat.Matrix {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The local derivative is applied in place:
+// grad is overwritten and returned, so the caller must treat the
+// incoming gradient as consumed.
 func (l *ActLayer) Backward(grad *mat.Matrix) *mat.Matrix {
 	if l.lastOut == nil {
 		panic("nn: activation backward before forward")
 	}
-	gin := mat.New(grad.Rows, grad.Cols)
 	switch l.Act {
 	case ReLU:
-		for i, g := range grad.Data {
-			if l.lastIn.Data[i] > 0 {
-				gin.Data[i] = g
+		for i := range grad.Data {
+			if l.lastIn.Data[i] <= 0 {
+				grad.Data[i] = 0
 			}
 		}
 	case LeakyReLU:
-		for i, g := range grad.Data {
-			if l.lastIn.Data[i] > 0 {
-				gin.Data[i] = g
-			} else {
-				gin.Data[i] = leakySlope * g
+		for i := range grad.Data {
+			if l.lastIn.Data[i] <= 0 {
+				grad.Data[i] *= leakySlope
 			}
 		}
 	case Sigmoid:
 		for i, g := range grad.Data {
 			s := l.lastOut.Data[i]
-			gin.Data[i] = g * s * (1 - s)
+			grad.Data[i] = g * s * (1 - s)
 		}
 	case Tanh:
 		for i, g := range grad.Data {
 			t := l.lastOut.Data[i]
-			gin.Data[i] = g * (1 - t*t)
+			grad.Data[i] = g * (1 - t*t)
 		}
 	case Identity:
-		copy(gin.Data, grad.Data)
 	}
-	return gin
+	return grad
 }
 
 // Params implements Layer; activations have none.

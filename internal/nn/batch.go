@@ -34,7 +34,7 @@ func (b *Batcher) Next() []int {
 		return nil
 	}
 	if b.perm == nil || b.pos >= b.N {
-		b.perm = b.r.Perm(b.N)
+		b.perm = b.r.PermInto(b.perm, b.N)
 		b.pos = 0
 	}
 	end := b.pos + b.BatchSize
@@ -57,18 +57,35 @@ func (b *Batcher) BatchesPerEpoch() int {
 // Gather copies the given rows of src into a new matrix, preserving
 // order.
 func Gather(src *mat.Matrix, rows []int) *mat.Matrix {
-	out := mat.New(len(rows), src.Cols)
+	return GatherInto(nil, src, rows)
+}
+
+// GatherInto copies the given rows of src into dst, preserving order.
+// dst is grown (or allocated when nil) via mat.Ensure and returned;
+// training loops pass the previous batch's matrix to reuse its storage.
+func GatherInto(dst *mat.Matrix, src *mat.Matrix, rows []int) *mat.Matrix {
+	dst = mat.Ensure(dst, len(rows), src.Cols)
 	for i, r := range rows {
-		copy(out.Row(i), src.Row(r))
+		copy(dst.Row(i), src.Row(r))
 	}
-	return out
+	return dst
 }
 
 // GatherVec copies the given positions of src into a new slice.
 func GatherVec(src []float64, idx []int) []float64 {
-	out := make([]float64, len(idx))
-	for i, p := range idx {
-		out[i] = src[p]
+	return GatherVecInto(nil, src, idx)
+}
+
+// GatherVecInto copies the given positions of src into dst, reusing
+// dst's backing array when capacity allows, and returns the (possibly
+// regrown) slice.
+func GatherVecInto(dst, src []float64, idx []int) []float64 {
+	if cap(dst) < len(idx) {
+		dst = make([]float64, len(idx))
 	}
-	return out
+	dst = dst[:len(idx)]
+	for i, p := range idx {
+		dst[i] = src[p]
+	}
+	return dst
 }

@@ -10,6 +10,24 @@
 // returns dL/d(input), accumulating parameter gradients internally.
 // Parameter gradients are averaged over the batch by the caller
 // dividing the loss gradient, not by the layer.
+//
+// # Buffer ownership
+//
+// Layers own per-layer workspace buffers, sized on first use and
+// reused across batches, so steady-state training performs no
+// allocation. The contract:
+//
+//   - Forward returns a matrix OWNED BY THE LAYER. It is valid until
+//     the next Forward or Backward call on the same layer (and hence,
+//     through MLP, on the same network). Callers that need the values
+//     afterwards must Clone them.
+//   - Backward may overwrite its grad argument in place (activation
+//     layers do) and may return it; callers must treat grad as
+//     consumed. The returned dL/d(input) is layer-owned with the same
+//     lifetime rule as Forward's output.
+//   - Forward keeps a reference to its input x as the backward
+//     operand; callers must not mutate x between Forward and the
+//     matching Backward.
 package nn
 
 import (
@@ -35,10 +53,14 @@ func (p *Param) ZeroGrad() {
 
 // Layer is one differentiable stage of a network.
 type Layer interface {
-	// Forward computes the layer output for a batch x.
+	// Forward computes the layer output for a batch x. The returned
+	// matrix is a layer-owned workspace, valid until the next
+	// Forward/Backward call on this layer.
 	Forward(x *mat.Matrix) *mat.Matrix
 	// Backward receives dL/d(output) and returns dL/d(input),
-	// accumulating parameter gradients as a side effect.
+	// accumulating parameter gradients as a side effect. It may
+	// overwrite grad in place; the returned matrix follows the same
+	// layer-owned lifetime rule as Forward's output.
 	Backward(grad *mat.Matrix) *mat.Matrix
 	// Params returns the layer's trainable parameters (possibly none).
 	Params() []*Param
@@ -51,6 +73,17 @@ type Dense struct {
 	B       *Param // Out
 
 	lastIn *mat.Matrix
+
+	// Workspaces, sized on first use and reused across batches.
+	out    *mat.Matrix // forward output
+	gin    *mat.Matrix // backward dL/d(input)
+	bSums  []float64   // ColSumsInto scratch for the bias gradient
+	params []*Param
+
+	// Long-lived matrix views over the parameter buffers, built once so
+	// the hot path never constructs (and heap-allocates) view headers.
+	wView  mat.Matrix // In×Out over W.Data
+	gwView mat.Matrix // In×Out over W.Grad
 }
 
 // NewDense returns a Dense layer with weights drawn from the given
@@ -62,6 +95,9 @@ func NewDense(in, out int, init Initializer, r *rng.RNG) *Dense {
 		W:   &Param{Name: fmt.Sprintf("dense%dx%d.W", in, out), Data: make([]float64, in*out), Grad: make([]float64, in*out)},
 		B:   &Param{Name: fmt.Sprintf("dense%dx%d.b", in, out), Data: make([]float64, out), Grad: make([]float64, out)},
 	}
+	d.params = []*Param{d.W, d.B}
+	d.wView = mat.Matrix{Rows: in, Cols: out, Data: d.W.Data}
+	d.gwView = mat.Matrix{Rows: in, Cols: out, Data: d.W.Grad}
 	init(d.W.Data, in, out, r)
 	return d
 }
@@ -72,15 +108,14 @@ func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
 		panic(fmt.Sprintf("nn: dense forward with %d features, want %d", x.Cols, d.In))
 	}
 	d.lastIn = x
-	w := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: d.W.Data}
-	out, err := mat.Mul(nil, x, w)
-	if err != nil {
+	d.out = mat.Ensure(d.out, x.Rows, d.Out)
+	if _, err := mat.Mul(d.out, x, &d.wView); err != nil {
 		panic(err)
 	}
-	if err := mat.AddRowVector(out, d.B.Data); err != nil {
+	if err := mat.AddRowVector(d.out, d.B.Data); err != nil {
 		panic(err)
 	}
-	return out
+	return d.out
 }
 
 // Backward implements Layer.
@@ -88,22 +123,21 @@ func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
 	if d.lastIn == nil {
 		panic("nn: dense backward before forward")
 	}
-	// dW += xᵀ·grad
-	gw := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: make([]float64, d.In*d.Out)}
-	if _, err := mat.MulATB(gw, d.lastIn, grad); err != nil {
+	// dW += xᵀ·grad, accumulated straight into the gradient buffer
+	// through a view — no scratch matrix.
+	if _, err := mat.MulATBAcc(&d.gwView, d.lastIn, grad); err != nil {
 		panic(err)
 	}
-	mat.Axpy(1, gw.Data, d.W.Grad)
-	// db += column sums of grad
-	mat.Axpy(1, mat.ColSums(grad), d.B.Grad)
+	// db += column sums of grad.
+	d.bSums = mat.ColSumsInto(d.bSums, grad)
+	mat.Axpy(1, d.bSums, d.B.Grad)
 	// dL/dx = grad·Wᵀ
-	w := &mat.Matrix{Rows: d.In, Cols: d.Out, Data: d.W.Data}
-	gin, err := mat.MulABT(nil, grad, w)
-	if err != nil {
+	d.gin = mat.Ensure(d.gin, grad.Rows, d.In)
+	if _, err := mat.MulABT(d.gin, grad, &d.wView); err != nil {
 		panic(err)
 	}
-	return gin
+	return d.gin
 }
 
 // Params implements Layer.
-func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+func (d *Dense) Params() []*Param { return d.params }

@@ -15,13 +15,20 @@ const probEps = 1e-12
 // Rows are independent, so large batches are split across the worker
 // pool; the result is bitwise identical for any worker count.
 func SoftmaxRows(logits *mat.Matrix) *mat.Matrix {
-	out := mat.New(logits.Rows, logits.Cols)
+	return SoftmaxRowsInto(nil, logits)
+}
+
+// SoftmaxRowsInto is SoftmaxRows with a caller-supplied destination,
+// grown (or allocated when nil) via mat.Ensure and returned. dst must
+// not alias logits.
+func SoftmaxRowsInto(dst, logits *mat.Matrix) *mat.Matrix {
+	dst = mat.Ensure(dst, logits.Rows, logits.Cols)
 	parallel.ForEachChunkMin(logits.Rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			mat.Softmax(out.Row(i), logits.Row(i))
+			mat.Softmax(dst.Row(i), logits.Row(i))
 		}
 	})
-	return out
+	return dst
 }
 
 // SoftCrossEntropy computes the mean weighted cross-entropy
@@ -33,27 +40,35 @@ func SoftmaxRows(logits *mat.Matrix) *mat.Matrix {
 // the number of rows — matching the 1/|D| normalizations of Eqs. (3)
 // and (6) in the paper.
 func SoftCrossEntropy(logits, y *mat.Matrix, weights []float64) (loss float64, grad *mat.Matrix) {
+	return SoftCrossEntropyInto(nil, logits, y, weights)
+}
+
+// SoftCrossEntropyInto is SoftCrossEntropy with a caller-supplied
+// gradient destination, grown (or allocated when nil) via mat.Ensure
+// and returned. The softmax probabilities are computed directly in the
+// gradient rows and transformed in place, so steady-state calls
+// allocate nothing. dst must not alias logits or y.
+func SoftCrossEntropyInto(dst, logits, y *mat.Matrix, weights []float64) (loss float64, grad *mat.Matrix) {
 	if logits.Rows != y.Rows || logits.Cols != y.Cols {
 		panic("nn: cross-entropy shape mismatch")
 	}
 	n := float64(logits.Rows)
-	grad = mat.New(logits.Rows, logits.Cols)
-	probs := make([]float64, logits.Cols)
+	grad = mat.Ensure(dst, logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
 		w := 1.0
 		if weights != nil {
 			w = weights[i]
 		}
-		mat.Softmax(probs, logits.Row(i))
-		yr := y.Row(i)
 		gr := grad.Row(i)
+		mat.Softmax(gr, logits.Row(i))
+		yr := y.Row(i)
 		// Soft-label rows sum to s (usually 1); the softmax CE
 		// gradient generalizes to s·p − y.
 		var ysum float64
 		for _, yv := range yr {
 			ysum += yv
 		}
-		for j, p := range probs {
+		for j, p := range gr {
 			if yr[j] != 0 {
 				loss += -w * yr[j] * math.Log(math.Max(p, probEps))
 			}
@@ -73,20 +88,27 @@ func SoftCrossEntropy(logits, y *mat.Matrix, weights []float64) (loss float64, g
 // minimizing entropy; we therefore expose H(p) directly and add it
 // with a positive λ₂.
 func Entropy(logits *mat.Matrix) (loss float64, grad *mat.Matrix) {
+	return EntropyInto(nil, logits)
+}
+
+// EntropyInto is Entropy with a caller-supplied gradient destination,
+// grown (or allocated when nil) via mat.Ensure and returned. The
+// softmax probabilities are computed directly in the gradient rows and
+// transformed in place. dst must not alias logits.
+func EntropyInto(dst, logits *mat.Matrix) (loss float64, grad *mat.Matrix) {
 	n := float64(logits.Rows)
-	grad = mat.New(logits.Rows, logits.Cols)
-	probs := make([]float64, logits.Cols)
+	grad = mat.Ensure(dst, logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
-		mat.Softmax(probs, logits.Row(i))
+		gr := grad.Row(i)
+		mat.Softmax(gr, logits.Row(i))
 		var h float64
-		for _, p := range probs {
+		for _, p := range gr {
 			if p > 0 {
 				h -= p * math.Log(math.Max(p, probEps))
 			}
 		}
 		loss += h
-		gr := grad.Row(i)
-		for j, p := range probs {
+		for j, p := range gr {
 			// dH/dz_j = −p_j (log p_j + H)
 			gr[j] = -p * (math.Log(math.Max(p, probEps)) + h) / n
 		}
@@ -98,11 +120,18 @@ func Entropy(logits *mat.Matrix) (loss float64, grad *mat.Matrix) {
 // (averaged over all elements per row and over rows) and the gradient
 // with respect to pred.
 func MSE(pred, target *mat.Matrix) (loss float64, grad *mat.Matrix) {
+	return MSEInto(nil, pred, target)
+}
+
+// MSEInto is MSE with a caller-supplied gradient destination, grown
+// (or allocated when nil) via mat.Ensure and returned. dst may alias
+// pred (each element is read before it is written) but not target.
+func MSEInto(dst, pred, target *mat.Matrix) (loss float64, grad *mat.Matrix) {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("nn: MSE shape mismatch")
 	}
 	n := float64(len(pred.Data))
-	grad = mat.New(pred.Rows, pred.Cols)
+	grad = mat.Ensure(dst, pred.Rows, pred.Cols)
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
 		loss += d * d

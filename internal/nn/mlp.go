@@ -10,8 +10,15 @@ import (
 )
 
 // MLP is a sequential multi-layer perceptron.
+//
+// Forward and Backward return layer-owned workspace buffers (see the
+// package-level buffer-ownership contract): the returned matrix is
+// valid until the next Forward/Backward call on the same network, and
+// callers that need it longer must Clone it.
 type MLP struct {
 	Layers []Layer
+
+	params []*Param // cached Params() result; layer topology is fixed
 }
 
 // MLPConfig describes an MLP's topology.
@@ -76,13 +83,23 @@ func (m *MLP) Backward(grad *mat.Matrix) *mat.Matrix {
 	return g
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is
+// built once and cached (topology never changes after construction);
+// it is sized to exact capacity, so callers appending to it get their
+// own backing array. Callers must not mutate the returned slice.
 func (m *MLP) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		var n int
+		for _, l := range m.Layers {
+			n += len(l.Params())
+		}
+		ps := make([]*Param, 0, n)
+		for _, l := range m.Layers {
+			ps = append(ps, l.Params()...)
+		}
+		m.params = ps
 	}
-	return ps
+	return m.params
 }
 
 // ZeroGrad clears every parameter gradient.

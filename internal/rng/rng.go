@@ -93,6 +93,29 @@ func (r *RNG) FillUniform(dst []float64, lo, hi float64) {
 // Perm returns a random permutation of [0,n).
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
 
+// PermInto writes a random permutation of [0,n) into dst, reusing its
+// backing array when capacity allows, and returns the (possibly
+// regrown) slice. It consumes the source stream exactly as Perm does
+// and produces the identical permutation, so Perm call sites can adopt
+// buffer reuse without perturbing any seeded experiment.
+func (r *RNG) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	// Mirrors math/rand's Perm exactly, including the i=0 iteration
+	// whose Intn(1) draw advances the source stream.
+	for i := 0; i < n; i++ {
+		j := r.src.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}
+
 // Shuffle permutes indices [0,n) via the provided swap function.
 func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Records a machine-readable perf baseline for the five worker-pool
 # benchmarks (MatMul, KMeans, AutoencoderEpoch, TargADFit,
-# TargADScore) so future PRs have a trajectory to compare against.
+# TargADScore), capturing both ns/op and the allocation axis
+# (B/op, allocs/op) so the trajectory tracks the zero-allocation
+# training contract alongside raw speed.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR1.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR2.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -20,7 +22,7 @@ fi
 
 args=(test -run '^$'
     -bench 'BenchmarkMatMul|BenchmarkKMeans|BenchmarkAutoencoderEpoch|BenchmarkTargADFit|BenchmarkTargADScore'
-    -cpu "$cpu_list" -timeout 60m .)
+    -cpu "$cpu_list" -benchmem -timeout 60m .)
 if [ -n "$benchtime" ]; then
     args+=(-benchtime "$benchtime")
 fi
@@ -37,6 +39,12 @@ BEGIN { n = 0 }
     full = $1
     iters = $2
     ns = $3
+    # -benchmem appends "B/op" and "allocs/op" columns.
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
     # Strip the Benchmark prefix and the -GOMAXPROCS suffix (go test
     # omits the suffix when GOMAXPROCS is 1).
     sub(/^Benchmark/, "", full)
@@ -46,13 +54,13 @@ BEGIN { n = 0 }
         sub(/.*-/, "", procs)
         sub(/-[0-9]+$/, "", full)
     }
-    entries[n++] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %s, \"iterations\": %s, \"ns_per_op\": %s}",
-        full, procs, iters, ns)
+    entries[n++] = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        full, procs, iters, ns, bytes, allocs)
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 1,\n"
-    printf "  \"description\": \"serial-vs-parallel baseline for the worker-pool benchmarks\",\n"
+    printf "  \"pr\": 2,\n"
+    printf "  \"description\": \"blocked-GEMM + zero-allocation training loops: ns/op and allocs/op for the worker-pool benchmarks\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

@@ -15,11 +15,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-# Race smoke: exercise the worker-pool kernels (mat GEMMs, k-means
-# assignment, softmax batching) and the concurrent per-cluster AE
-# training with a multi-worker pool under the race detector. The core
-# package is scoped to its parallel-path determinism tests to keep the
-# smoke short; the full core suite already ran above.
+# Race smoke: exercise the worker-pool kernels (mat GEMMs including the
+# packed-buffer blocked paths, k-means assignment, softmax batching)
+# and the concurrent per-cluster AE training with a multi-worker pool
+# under the race detector. The core package is scoped to its
+# parallel-path determinism tests to keep the smoke short; the full
+# core suite already ran above.
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     ./internal/parallel ./internal/mat ./internal/cluster
@@ -27,5 +28,29 @@ TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'ParallelSerialIdentical' ./internal/core
+
+# Allocation-budget smoke: one iteration of each hot-path benchmark
+# with -benchmem, failing if allocs/op regresses above its budget. The
+# budgets are ~2x the post-PR-2 steady-state measurements (benchtime=1x
+# includes first-call workspace warm-up), so real regressions — a new
+# per-batch allocation in a training loop is thousands of allocs/op —
+# trip immediately while warm-up noise does not.
+echo "== allocation budgets (benchtime=1x, workers=1) =="
+go test -run '^$' \
+    -bench 'BenchmarkTargADFit|BenchmarkAutoencoderEpoch|BenchmarkMatMul' \
+    -benchtime 1x -benchmem -cpu 1 -timeout 20m . | tee /tmp/targad_alloc_smoke.txt
+awk '
+/^Benchmark/ {
+    name = $1; allocs = $(NF - 1)
+    budget = -1
+    if (name ~ /TargADFit/)         budget = 1600
+    if (name ~ /AutoencoderEpoch/)  budget = 50
+    if (name ~ /MatMul/)            budget = 10
+    if (budget >= 0 && allocs + 0 > budget) {
+        printf "ALLOC REGRESSION: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget
+        bad = 1
+    }
+}
+END { exit bad }' /tmp/targad_alloc_smoke.txt
 
 echo "CI OK"
