@@ -74,7 +74,10 @@ func (mo *Model) calibrateIdentification(labeled, cand *mat.Matrix, weights []fl
 	if labeled.Rows == 0 || cand.Rows == 0 {
 		return
 	}
-	lLog := mo.clf.Forward(labeled)
+	// Forward returns the classifier's layer-owned workspace, so the
+	// second call below would overwrite (and reshape) the labeled
+	// logits — clone them so both sides survive side by side.
+	lLog := mo.clf.Forward(labeled).Clone()
 	cLog := mo.clf.Forward(cand)
 	for _, s := range OODStrategies() {
 		lv := make([]float64, lLog.Rows)

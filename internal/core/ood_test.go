@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/rng"
 )
 
 func TestIdnessMSP(t *testing.T) {
@@ -63,5 +65,53 @@ func TestIdnessUnknownStrategyPanics(t *testing.T) {
 func TestOODStrategyUnknownString(t *testing.T) {
 	if got := OODStrategy(7).String(); got != "OODStrategy(7)" {
 		t.Fatalf("unknown strategy String = %q", got)
+	}
+}
+
+// TestCalibrateIdentificationUsesLabeledLogits guards against workspace
+// aliasing: MLP.Forward returns a layer-owned buffer that the next
+// Forward call on the same network overwrites, so calibration must
+// detach the labeled logits before forwarding the candidates. The
+// expected thresholds are computed with two independent forward passes,
+// each fully consumed before the other runs.
+func TestCalibrateIdentificationUsesLabeledLogits(t *testing.T) {
+	clf, err := nn.NewMLP(nn.MLPConfig{Dims: []int{4, 6, 3}, Hidden: nn.ReLU, Output: nn.Identity}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := &Model{m: 1, k: 2, clf: clf, idThreshold: make(map[OODStrategy]float64)}
+
+	labeled := mat.New(5, 4)
+	rng.New(18).FillNormal(labeled.Data, 0, 2)
+	cand := mat.New(9, 4) // different row count, so aliasing also reshapes
+	rng.New(19).FillNormal(cand.Data, 1, 2)
+	weights := make([]float64, cand.Rows)
+	rng.New(20).FillUniform(weights, 0.1, 1)
+
+	want := make(map[OODStrategy]float64)
+	for _, s := range OODStrategies() {
+		lLog := clf.Forward(labeled)
+		lv := make([]float64, lLog.Rows)
+		for i := range lv {
+			lv[i] = idness(s, lLog.Row(i))
+		}
+		cLog := clf.Forward(cand)
+		var wSum, vSum float64
+		for i := 0; i < cLog.Rows; i++ {
+			wSum += weights[i]
+			vSum += weights[i] * idness(s, cLog.Row(i))
+		}
+		want[s] = (median(lv) + vSum/wSum) / 2
+	}
+
+	mo.calibrateIdentification(labeled, cand, weights)
+	for _, s := range OODStrategies() {
+		got, ok := mo.IdentifyThreshold(s)
+		if !ok {
+			t.Fatalf("%s: no threshold calibrated", s)
+		}
+		if got != want[s] {
+			t.Fatalf("%s threshold = %v, want %v (labeled logits clobbered by candidate forward?)", s, got, want[s])
+		}
 	}
 }

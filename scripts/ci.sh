@@ -16,14 +16,16 @@ echo "== go test =="
 go test ./...
 
 # Race smoke: exercise the worker-pool kernels (mat GEMMs including the
-# packed-buffer blocked paths, k-means assignment, softmax batching)
-# and the concurrent per-cluster AE training with a multi-worker pool
-# under the race detector. The core package is scoped to its
-# parallel-path determinism tests to keep the smoke short; the full
-# core suite already ran above.
+# packed-buffer blocked paths, k-means assignment, softmax batching),
+# the nn layer-workspace reuse, and the concurrent per-cluster AE
+# training with a multi-worker pool under the race detector. The
+# zero-alloc assertions self-skip under -race (the instrumentation
+# allocates); the core package is scoped to its parallel-path
+# determinism tests to keep the smoke short — the full core suite
+# already ran above.
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
-    ./internal/parallel ./internal/mat ./internal/cluster
+    ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
