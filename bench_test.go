@@ -10,6 +10,7 @@
 package targad_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -88,7 +89,7 @@ func BenchmarkTable1Datasets(b *testing.B) {
 func BenchmarkTable2Overall(b *testing.B) {
 	rc := trimmed()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(rc, io.Discard); err != nil {
+		if _, err := experiments.Table2(context.Background(), rc, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +98,7 @@ func BenchmarkTable2Overall(b *testing.B) {
 func BenchmarkTable3Ablation(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(rc, nil); err != nil {
+		if _, err := experiments.Table3(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,7 +107,7 @@ func BenchmarkTable3Ablation(b *testing.B) {
 func BenchmarkTable4OOD(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table4(rc, nil); err != nil {
+		if _, err := experiments.Table4(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkTable4OOD(b *testing.B) {
 func BenchmarkFig3Convergence(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3(rc, nil); err != nil {
+		if _, err := experiments.Fig3(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +125,7 @@ func BenchmarkFig3Convergence(b *testing.B) {
 func BenchmarkFig4aNovelNonTarget(b *testing.B) {
 	rc := trimmed()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4a(rc, nil); err != nil {
+		if _, err := experiments.Fig4a(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +134,7 @@ func BenchmarkFig4aNovelNonTarget(b *testing.B) {
 func BenchmarkFig4bTargetClasses(b *testing.B) {
 	rc := trimmed()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4b(rc, nil); err != nil {
+		if _, err := experiments.Fig4b(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,7 +143,7 @@ func BenchmarkFig4bTargetClasses(b *testing.B) {
 func BenchmarkFig4cLabeledCount(b *testing.B) {
 	rc := trimmed()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4c(rc, nil); err != nil {
+		if _, err := experiments.Fig4c(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +152,7 @@ func BenchmarkFig4cLabeledCount(b *testing.B) {
 func BenchmarkFig4dContamination(b *testing.B) {
 	rc := trimmed()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4d(rc, nil); err != nil {
+		if _, err := experiments.Fig4d(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,7 +161,7 @@ func BenchmarkFig4dContamination(b *testing.B) {
 func BenchmarkFig5Weights(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(rc, nil); err != nil {
+		if _, err := experiments.Fig5(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -169,7 +170,7 @@ func BenchmarkFig5Weights(b *testing.B) {
 func BenchmarkFig6AlphaSensitivity(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(rc, nil); err != nil {
+		if _, err := experiments.Fig6(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -178,7 +179,7 @@ func BenchmarkFig6AlphaSensitivity(b *testing.B) {
 func BenchmarkFig7aEta(b *testing.B) {
 	rc := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7Eta(rc, nil); err != nil {
+		if _, err := experiments.Fig7Eta(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +189,7 @@ func BenchmarkFig7bcLambda(b *testing.B) {
 	rc := benchConfig()
 	rc.ClfEpochs = 4 // 36-cell grid; keep the sweep bounded
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7Lambda(rc, nil); err != nil {
+		if _, err := experiments.Fig7Lambda(context.Background(), rc, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -213,7 +214,7 @@ func BenchmarkTargADFit(b *testing.B) {
 		atWorkers(b, w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := core.New(cfg, int64(i))
-				if err := m.Fit(bundle.Train); err != nil {
+				if err := m.Fit(context.Background(), bundle.Train); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -235,13 +236,13 @@ func BenchmarkTargADScore(b *testing.B) {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	m := core.New(cfg, 1)
-	if err := m.Fit(bundle.Train); err != nil {
+	if err := m.Fit(context.Background(), bundle.Train); err != nil {
 		b.Fatal(err)
 	}
 	for _, w := range benchWorkerCounts() {
 		atWorkers(b, w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Score(bundle.Test.X); err != nil {
+				if _, err := m.Score(context.Background(), bundle.Test.X); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -297,7 +298,7 @@ func BenchmarkKMeans(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		atWorkers(b, w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cluster.KMeans(x, cluster.Config{K: 4}, rng.New(int64(i))); err != nil {
+				if _, err := cluster.KMeans(context.Background(), x, cluster.Config{K: 4}, rng.New(int64(i))); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -359,13 +360,13 @@ func BenchmarkIsolationForestScore(b *testing.B) {
 	rc := benchConfig()
 	m, _ := experiments.ModelByName(rc, "iForest")
 	det := m.New(1)
-	if err := det.Fit(bundle.Train); err != nil {
+	if err := det.Fit(context.Background(), bundle.Train); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := det.Score(bundle.Test.X); err != nil {
+		if _, err := det.Score(context.Background(), bundle.Test.X); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"targad/internal/core"
@@ -29,12 +30,12 @@ func diagnose(rc experiments.RunConfig, p synth.Profile) {
 	cfg.AEHidden = []int{12, 4}
 	cfg.AEEpochs = 20
 	cfg.EpochHook = func(epoch int, mo *core.Model) {
-		s, _ := mo.Score(b.Test.X)
+		s, _ := mo.Score(context.Background(), b.Test.X)
 		prc, _ := metrics.AUPRC(s, b.Test.TargetLabels())
 		fmt.Printf("epoch %d: AUPRC=%.3f loss=%.4f\n", epoch, prc, mo.EpochLosses[len(mo.EpochLosses)-1])
 	}
 	m := core.New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		panic(err)
 	}
 	var candT, candNT, candN int
@@ -68,17 +69,17 @@ func diagnose(rc experiments.RunConfig, p synth.Profile) {
 	}
 	fmt.Printf("k=%d  D_U^A: %d normal, %d/%d target, %d/%d non-target; escaped to D_U^N: %d targets, %d non-targets\n",
 		m.NumNormalClusters(), candN, candT, poolT, candNT, poolNT, escT, escNT)
-	s, _ := m.Score(b.Test.X)
+	s, _ := m.Score(context.Background(), b.Test.X)
 	prc, _ := metrics.AUPRC(s, b.Test.TargetLabels())
 	fmt.Printf("TargAD test AUPRC=%.3f\n", prc)
 	subsetAUPRC("target-vs-normal", s, b.Test.Kind, dataset.KindNormal)
 	subsetAUPRC("target-vs-nontarget", s, b.Test.Kind, dataset.KindNonTarget)
 	pw, _ := experiments.ModelByName(rc, "PIA-WAL")
 	det := pw.New(1)
-	if err := det.Fit(b.Train); err != nil {
+	if err := det.Fit(context.Background(), b.Train); err != nil {
 		panic(err)
 	}
-	s2, _ := det.Score(b.Test.X)
+	s2, _ := det.Score(context.Background(), b.Test.X)
 	prc2, _ := metrics.AUPRC(s2, b.Test.TargetLabels())
 	fmt.Printf("PIA-WAL test AUPRC=%.3f\n", prc2)
 	subsetAUPRC("target-vs-normal", s2, b.Test.Kind, dataset.KindNormal)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -58,10 +59,10 @@ func main() {
 			if va, ok := det.(detector.ValidationAware); ok {
 				va.SetValidation(b.Val)
 			}
-			if err := det.Fit(b.Train); err != nil {
+			if err := det.Fit(context.Background(), b.Train); err != nil {
 				panic(err)
 			}
-			s, err := det.Score(b.Test.X)
+			s, err := det.Score(context.Background(), b.Test.X)
 			if err != nil {
 				panic(err)
 			}

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"targad/internal/experiments"
@@ -39,6 +43,8 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		outPath = flag.String("o", "", "also write rendered results to this file")
 		workers = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30m); 0 disables")
+		state   = flag.String("state", "", "directory for per-table resume state; an interrupted run continues from its last completed cell")
 	)
 	flag.Parse()
 
@@ -71,6 +77,18 @@ func main() {
 	if *labeled > 0 {
 		rc.LabeledPerType = *labeled
 	}
+	rc.StateDir = *state
+
+	// ^C/SIGTERM and -timeout cancel the run cooperatively: the
+	// harness stops at the next cell or epoch boundary, and with
+	// -state set the completed cells are already on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
@@ -92,7 +110,14 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		if err := run(name, rc, out, progress); err != nil {
+		if err := run(ctx, name, rc, out, progress); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "targad-bench: interrupted:", err)
+				if *state != "" {
+					fmt.Fprintln(os.Stderr, "targad-bench: completed cells are saved under", *state, "- rerun the same command to resume")
+				}
+				os.Exit(130)
+			}
 			fatal(err)
 		}
 		fmt.Fprintf(out, "\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -102,7 +127,7 @@ func main() {
 // renderer is implemented by every experiment result.
 type renderer interface{ Render(io.Writer) }
 
-func run(name string, rc experiments.RunConfig, out, progress io.Writer) error {
+func run(ctx context.Context, name string, rc experiments.RunConfig, out, progress io.Writer) error {
 	var (
 		res renderer
 		err error
@@ -111,31 +136,31 @@ func run(name string, rc experiments.RunConfig, out, progress io.Writer) error {
 	case "table1":
 		res, err = experiments.Table1(rc)
 	case "table2":
-		res, err = experiments.Table2(rc, progress)
+		res, err = experiments.Table2(ctx, rc, progress)
 	case "table3":
-		res, err = experiments.Table3(rc, progress)
+		res, err = experiments.Table3(ctx, rc, progress)
 	case "table4":
-		res, err = experiments.Table4(rc, progress)
+		res, err = experiments.Table4(ctx, rc, progress)
 	case "fig3":
-		res, err = experiments.Fig3(rc, progress)
+		res, err = experiments.Fig3(ctx, rc, progress)
 	case "fig4a":
-		res, err = experiments.Fig4a(rc, progress)
+		res, err = experiments.Fig4a(ctx, rc, progress)
 	case "fig4b":
-		res, err = experiments.Fig4b(rc, progress)
+		res, err = experiments.Fig4b(ctx, rc, progress)
 	case "fig4c":
-		res, err = experiments.Fig4c(rc, progress)
+		res, err = experiments.Fig4c(ctx, rc, progress)
 	case "fig4d":
-		res, err = experiments.Fig4d(rc, progress)
+		res, err = experiments.Fig4d(ctx, rc, progress)
 	case "fig5":
-		res, err = experiments.Fig5(rc, progress)
+		res, err = experiments.Fig5(ctx, rc, progress)
 	case "fig6":
-		res, err = experiments.Fig6(rc, progress)
+		res, err = experiments.Fig6(ctx, rc, progress)
 	case "fig7a":
-		res, err = experiments.Fig7Eta(rc, progress)
+		res, err = experiments.Fig7Eta(ctx, rc, progress)
 	case "fig7bc":
-		res, err = experiments.Fig7Lambda(rc, progress)
+		res, err = experiments.Fig7Lambda(ctx, rc, progress)
 	case "weight-ablation":
-		res, err = experiments.WeightAblation(rc, progress)
+		res, err = experiments.WeightAblation(ctx, rc, progress)
 	default:
 		return fmt.Errorf("unknown experiment %q (see -h)", name)
 	}

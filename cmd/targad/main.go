@@ -16,10 +16,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"targad/internal/core"
 	"targad/internal/dataset"
@@ -44,6 +49,8 @@ func main() {
 		savePath      = flag.String("save", "", "write the trained model here")
 		loadPath      = flag.String("load", "", "load a trained model instead of training (-labeled/-unlabeled ignored)")
 		normalize     = flag.Bool("normalize", true, "min-max scale features using the training data's ranges")
+		timeout       = flag.Duration("timeout", 0, "abort training/scoring after this long (e.g. 10m); 0 disables")
+		checkpoint    = flag.String("checkpoint", "", "checkpoint file for crash-safe training; an interrupted run rerun with the same flags resumes exactly where it stopped")
 	)
 	flag.Parse()
 	if *scorePath == "" || (*loadPath == "" && (*labeledPath == "" || *unlabeledPath == "")) {
@@ -52,8 +59,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C/SIGTERM and -timeout cancel cooperatively at the next epoch
+	// boundary; with -checkpoint set, the progress made so far is on
+	// disk and the same command resumes it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *loadPath != "" {
-		scoreWithSavedModel(*loadPath, *scorePath, *outPath, *hasHeader)
+		scoreWithSavedModel(ctx, *loadPath, *scorePath, *outPath, *hasHeader)
 		return
 	}
 
@@ -111,11 +129,20 @@ func main() {
 	cfg.ClfEpochs = *epochs
 	cfg.AELR = *lr
 	cfg.ClfLR = *lr
+	cfg.Checkpoint = core.CheckpointConfig{Path: *checkpoint}
 	model := core.New(cfg, *seed)
 
 	fmt.Fprintf(os.Stderr, "targad: training on %d labeled (m=%d types) + %d unlabeled instances, %d features\n",
 		labeled.Rows, train.NumTargetTypes, unlabeled.Rows, unlabeled.Cols)
-	if err := model.Fit(train); err != nil {
+	start := time.Now()
+	if err := model.Fit(ctx, train); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "targad: interrupted after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "targad: progress saved to %s; rerun the same command to resume\n", *checkpoint)
+			}
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "targad: trained with k=%d normal clusters\n", model.NumNormalClusters())
@@ -135,7 +162,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "targad: model saved to %s\n", *savePath)
 	}
 
-	scores, err := model.Score(test)
+	scores, err := model.Score(ctx, test)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,7 +185,7 @@ func main() {
 // scoreWithSavedModel loads a serialized model and scores a CSV.
 // Note: a saved model expects inputs in the same normalized space it
 // was trained in; pass pre-normalized features when using -load.
-func scoreWithSavedModel(modelPath, scorePath, outPath string, header bool) {
+func scoreWithSavedModel(ctx context.Context, modelPath, scorePath, outPath string, header bool) {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		fatal(err)
@@ -169,7 +196,7 @@ func scoreWithSavedModel(modelPath, scorePath, outPath string, header bool) {
 		fatal(err)
 	}
 	test := loadCSV(scorePath, header)
-	scores, err := model.Score(test)
+	scores, err := model.Score(ctx, test)
 	if err != nil {
 		fatal(err)
 	}

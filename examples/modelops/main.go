@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	cfg.ClfLR = 1e-3
 	model := core.New(cfg, 1)
 	model.SetValidation(bundle.Val) // best-epoch selection
-	if err := model.Fit(bundle.Train); err != nil {
+	if err := model.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
 
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scores, err := scorer.Score(bundle.Test.X)
+	scores, err := scorer.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}

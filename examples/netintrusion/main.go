@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,19 +41,19 @@ func main() {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	model := core.New(cfg, 3)
-	if err := model.Fit(bundle.Train); err != nil {
+	if err := model.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
-	targadScores, err := model.Score(bundle.Test.X)
+	targadScores, err := model.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	dn := devnet.New(devnet.DefaultConfig(3))
-	if err := dn.Fit(bundle.Train); err != nil {
+	if err := dn.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
-	devnetScores, err := dn.Score(bundle.Test.X)
+	devnetScores, err := dn.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -41,20 +42,20 @@ func main() {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	model := core.New(cfg, 1)
-	if err := model.Fit(bundle.Train); err != nil {
+	if err := model.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
-	targadScores, err := model.Score(bundle.Test.X)
+	targadScores, err := model.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// iForest: flags ANY unusual merchant, regardless of risk level.
 	forest := iforest.New(iforest.DefaultConfig(1))
-	if err := forest.Fit(bundle.Train); err != nil {
+	if err := forest.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
-	forestScores, err := forest.Score(bundle.Test.X)
+	forestScores, err := forest.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	// pool (k chosen by the elbow method), one autoencoder per
 	// cluster, candidate selection, then the (m+k)-way classifier.
 	model := core.New(cfg, 1)
-	if err := model.Fit(bundle.Train); err != nil {
+	if err := model.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained: m=%d target types, k=%d normal clusters\n",
@@ -50,7 +51,7 @@ func main() {
 
 	// 4. Score. S^tar(x) = max softmax probability over the target
 	// dimensions — higher means more likely a target anomaly.
-	scores, err := model.Score(bundle.Test.X)
+	scores, err := model.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	model := core.New(cfg, 9)
-	if err := model.Fit(bundle.Train); err != nil {
+	if err := model.Fit(context.Background(), bundle.Train); err != nil {
 		log.Fatal(err)
 	}
 

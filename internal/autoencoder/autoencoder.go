@@ -6,9 +6,13 @@
 package autoencoder
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
+	"targad/internal/faultinject"
 	"targad/internal/mat"
 	"targad/internal/nn"
 	"targad/internal/parallel"
@@ -106,7 +110,18 @@ func New(cfg Config, r *rng.RNG) (*AE, error) {
 // loss. labeled may be nil or empty (η term skipped), which recovers a
 // conventional unsupervised autoencoder — the η = 0 ablation of
 // Fig. 7(a). It returns the mean epoch losses.
+//
+// Train is TrainCtx without cancellation.
 func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, error) {
+	return ae.TrainCtx(context.Background(), unlabeled, labeled, r)
+}
+
+// TrainCtx is Train with cooperative cancellation (checked at every
+// epoch boundary) and numerical-health guards: a non-finite or
+// diverging epoch loss, or a non-finite parameter, aborts training
+// with a *nn.NumericalError instead of silently returning a NaN
+// model.
+func (ae *AE) TrainCtx(ctx context.Context, unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, error) {
 	if unlabeled == nil || unlabeled.Rows == 0 {
 		return nil, errors.New("autoencoder: empty unlabeled cluster")
 	}
@@ -121,12 +136,20 @@ func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, erro
 	opt := nn.NewAdam(ae.cfg.LR)
 	batcher := nn.NewBatcher(unlabeled.Rows, ae.cfg.BatchSize, r)
 	losses := make([]float64, 0, ae.cfg.Epochs)
+	var firstLoss float64
+	haveFirst := false
 	for epoch := 0; epoch < ae.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return losses, fmt.Errorf("autoencoder: canceled at epoch %d: %w", epoch, err)
+		}
 		var epochLoss float64
 		nb := batcher.BatchesPerEpoch()
 		for b := 0; b < nb; b++ {
 			idx := batcher.Next()
 			ae.xb = nn.GatherInto(ae.xb, unlabeled, idx)
+			if faultinject.Fire(faultinject.AEBatchNaN) {
+				ae.xb.Data[0] = math.NaN()
+			}
 			ae.net.ZeroGrad()
 
 			// Unlabeled reconstruction term.
@@ -146,7 +169,24 @@ func (ae *AE) Train(unlabeled, labeled *mat.Matrix, r *rng.RNG) ([]float64, erro
 			opt.Step(ae.net.Params())
 			epochLoss += loss
 		}
-		losses = append(losses, epochLoss/float64(nb))
+		mean := epochLoss / float64(nb)
+		losses = append(losses, mean)
+		// Numerical-health sentinels (per epoch): a poisoned batch or
+		// runaway optimization must fail loudly, not return NaN
+		// weights to the candidate-selection stage.
+		if !nn.Finite(mean) || (haveFirst && nn.Diverged(mean, firstLoss)) {
+			detail := "non-finite epoch loss"
+			if nn.Finite(mean) {
+				detail = "diverging epoch loss"
+			}
+			return losses, &nn.NumericalError{Stage: "autoencoder", Cluster: -1, Epoch: epoch, Detail: detail, Value: mean}
+		}
+		if !haveFirst {
+			firstLoss, haveFirst = mean, true
+		}
+		if name := nn.NonFiniteParam(ae.net.Params()); name != "" {
+			return losses, &nn.NumericalError{Stage: "autoencoder", Cluster: -1, Epoch: epoch, Detail: "non-finite parameter " + name, Value: mean}
+		}
 	}
 	return losses, nil
 }
@@ -232,6 +272,25 @@ func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
 	return out.Clone(), nil
 }
 
+// MaxTrainRetries bounds the LR-halving/re-seed retries a cluster's
+// autoencoder gets after a numerical failure before the failure is
+// surfaced to the caller.
+const MaxTrainRetries = 2
+
+// ClusterResume threads checkpoint state through TrainPerCluster.
+type ClusterResume struct {
+	// Done holds pre-trained autoencoders by cluster index (nil
+	// entries are trained from scratch with their own RNG stream, so a
+	// resumed run is bitwise identical to an uninterrupted one).
+	Done []*AE
+	// Errs holds the matching per-cluster reconstruction errors.
+	Errs [][]float64
+	// OnCluster, when non-nil, is invoked (serialized) as each cluster
+	// finishes training — the checkpoint writer hook. An error aborts
+	// the run once in-flight clusters drain.
+	OnCluster func(cluster int, ae *AE, errs []float64) error
+}
+
 // TrainPerCluster trains one autoencoder per cluster concurrently on
 // the shared worker pool (Algorithm 1, lines 2–5). clusters[i] lists
 // the unlabeled row indices of cluster i. It returns the trained
@@ -241,8 +300,14 @@ func (ae *AE) Encoder(x *mat.Matrix) (*mat.Matrix, error) {
 // Each cluster's RNG stream is split from the parent serially, before
 // any training starts, so every autoencoder sees the same stream
 // regardless of worker count or scheduling — results are bitwise
-// identical to a sequential run.
-func TrainPerCluster(unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Config, r *rng.RNG) ([]*AE, []float64, error) {
+// identical to a sequential run, and a cluster restored from a
+// checkpoint (resume.Done) never perturbs its siblings' streams.
+//
+// A cluster whose training trips a numerical guard is retried up to
+// MaxTrainRetries times with a halved learning rate and a re-split RNG
+// stream; if every attempt fails, the *nn.NumericalError of the last
+// attempt (annotated with the cluster index) is returned.
+func TrainPerCluster(ctx context.Context, unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Config, r *rng.RNG, resume *ClusterResume) ([]*AE, []float64, error) {
 	k := len(clusters)
 	if k == 0 {
 		return nil, nil, errors.New("autoencoder: no clusters")
@@ -254,30 +319,40 @@ func TrainPerCluster(unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Confi
 	aes := make([]*AE, k)
 	errsByCluster := make([][]float64, k)
 	firstErr := make([]error, k)
+	var hookMu sync.Mutex
+	var hookErr error
 	parallel.Map(k, func(i int) {
-		cr := rngs[i]
-		sub := nn.Gather(unlabeled, clusters[i])
-		ae, err := New(cfg, cr)
-		if err != nil {
-			firstErr[i] = err
+		if resume != nil && i < len(resume.Done) && resume.Done[i] != nil {
+			aes[i] = resume.Done[i]
+			errsByCluster[i] = resume.Errs[i]
 			return
 		}
-		if _, err := ae.Train(sub, labeled, cr); err != nil {
-			firstErr[i] = err
+		if err := ctx.Err(); err != nil {
+			firstErr[i] = fmt.Errorf("autoencoder: cluster %d canceled: %w", i, err)
 			return
 		}
-		es, err := ae.ReconstructionErrors(sub)
+		ae, es, err := trainOneCluster(ctx, unlabeled, labeled, clusters[i], cfg, rngs[i], i)
 		if err != nil {
 			firstErr[i] = err
 			return
 		}
 		aes[i] = ae
 		errsByCluster[i] = es
+		if resume != nil && resume.OnCluster != nil {
+			hookMu.Lock()
+			if hookErr == nil {
+				hookErr = resume.OnCluster(i, ae, es)
+			}
+			hookMu.Unlock()
+		}
 	})
 	for _, err := range firstErr {
 		if err != nil {
 			return nil, nil, err
 		}
+	}
+	if hookErr != nil {
+		return nil, nil, hookErr
 	}
 	scores := make([]float64, unlabeled.Rows)
 	for i, idxs := range clusters {
@@ -286,4 +361,67 @@ func TrainPerCluster(unlabeled, labeled *mat.Matrix, clusters [][]int, cfg Confi
 		}
 	}
 	return aes, scores, nil
+}
+
+// trainOneCluster runs one cluster's build-train-score cycle with the
+// bounded numerical-retry loop. Attempt 0 consumes the cluster's
+// original RNG stream exactly as the pre-guard code did, so healthy
+// runs are bitwise unchanged; retries derive fresh streams from the
+// (deterministic) post-failure stream position.
+func trainOneCluster(ctx context.Context, unlabeled, labeled *mat.Matrix, cluster []int, cfg Config, cr *rng.RNG, idx int) (*AE, []float64, error) {
+	sub := nn.Gather(unlabeled, cluster)
+	for attempt := 0; ; attempt++ {
+		acfg := cfg
+		acfg.LR = cfg.LR / float64(uint(1)<<uint(attempt))
+		ae, err := New(acfg, cr)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, err = ae.TrainCtx(ctx, sub, labeled, cr)
+		var nerr *nn.NumericalError
+		if errors.As(err, &nerr) {
+			nerr.Cluster = idx
+			nerr.Attempt = attempt
+			if attempt < MaxTrainRetries {
+				cr = cr.SplitN("retry", attempt+1)
+				continue
+			}
+			return nil, nil, nerr
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		es, err := ae.ReconstructionErrors(sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ae, es, nil
+	}
+}
+
+// ParamValues deep-copies the network's parameter payloads in layer
+// order — the checkpoint representation of a trained autoencoder.
+func (ae *AE) ParamValues() [][]float64 {
+	ps := ae.net.Params()
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+// SetParamValues restores payloads captured by ParamValues into an
+// identically configured autoencoder.
+func (ae *AE) SetParamValues(vals [][]float64) error {
+	ps := ae.net.Params()
+	if len(ps) != len(vals) {
+		return fmt.Errorf("autoencoder: restore: %d param tensors, saved %d", len(ps), len(vals))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(vals[i]) {
+			return fmt.Errorf("autoencoder: restore: param %d has %d values, saved %d", i, len(p.Data), len(vals[i]))
+		}
+		copy(p.Data, vals[i])
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package autoencoder
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/mat"
@@ -199,7 +200,7 @@ func TestTrainPerCluster(t *testing.T) {
 		clusters[i%2] = append(clusters[i%2], i)
 	}
 	cfg := Config{InputDim: 8, Hidden: []int{6, 3}, LR: 5e-3, BatchSize: 16, Epochs: 5}
-	aes, scores, err := TrainPerCluster(normals, nil, clusters, cfg, r)
+	aes, scores, err := TrainPerCluster(context.Background(), normals, nil, clusters, cfg, r, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestTrainPerCluster(t *testing.T) {
 	if es[0] != scores[c0] {
 		t.Fatalf("score scatter mismatch: %v vs %v", es[0], scores[c0])
 	}
-	if _, _, err := TrainPerCluster(normals, nil, nil, cfg, r); err == nil {
+	if _, _, err := TrainPerCluster(context.Background(), normals, nil, nil, cfg, r, nil); err == nil {
 		t.Fatal("no clusters must error")
 	}
 }

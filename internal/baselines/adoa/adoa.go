@@ -9,7 +9,9 @@
 package adoa
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"targad/internal/baselines/common"
@@ -68,7 +70,7 @@ func New(cfg Config) *ADOA {
 func (m *ADOA) Name() string { return "ADOA" }
 
 // Fit implements detector.Detector.
-func (m *ADOA) Fit(train *dataset.TrainSet) error {
+func (m *ADOA) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("adoa: requires labeled anomalies")
 	}
@@ -87,7 +89,7 @@ func (m *ADOA) Fit(train *dataset.TrainSet) error {
 		kA = train.Labeled.Rows
 	}
 	m.kA = kA
-	ares, err := cluster.KMeans(train.Labeled, cluster.Config{K: kA}, r.Split("acluster"))
+	ares, err := cluster.KMeans(ctx, train.Labeled, cluster.Config{K: kA}, r.Split("acluster"))
 	if err != nil {
 		return err
 	}
@@ -95,10 +97,10 @@ func (m *ADOA) Fit(train *dataset.TrainSet) error {
 	// Step 2: isolation score + anomaly-cluster similarity per
 	// unlabeled instance.
 	forest := iforest.New(iforest.DefaultConfig(r.Int63()))
-	if err := forest.Fit(train); err != nil {
+	if err := forest.Fit(ctx, train); err != nil {
 		return err
 	}
-	iso, err := forest.Score(x)
+	iso, err := forest.Score(ctx, x)
 	if err != nil {
 		return err
 	}
@@ -176,6 +178,9 @@ func (m *ADOA) Fit(train *dataset.TrainSet) error {
 	opt := nn.NewAdam(m.cfg.LR)
 	bat := nn.NewBatcher(rowsX, m.cfg.BatchSize, r.Split("bat"))
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("adoa: canceled: %w", err)
+		}
 		for b := 0; b < bat.BatchesPerEpoch(); b++ {
 			idx := bat.Next()
 			xb := nn.Gather(xs, idx)
@@ -193,7 +198,7 @@ func (m *ADOA) Fit(train *dataset.TrainSet) error {
 
 // Score implements detector.Detector: 1 − P(normal), the probability
 // mass on the anomaly clusters.
-func (m *ADOA) Score(x *mat.Matrix) ([]float64, error) {
+func (m *ADOA) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.net == nil {
 		return nil, errors.New("adoa: not fitted")
 	}

@@ -1,6 +1,7 @@
 package adoa
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -48,7 +49,7 @@ func TestAnomalyClusterCountDefaults(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Epochs = 5
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	if m.kA != 2 {
@@ -63,7 +64,7 @@ func TestAnomalyClustersClampToLabels(t *testing.T) {
 	cfg.Epochs = 3
 	cfg.AnomalyClusters = 10 // more clusters than labels: must clamp
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	if m.kA != 4 {
@@ -77,10 +78,10 @@ func TestScoreIsAnomalyProbability(t *testing.T) {
 	cfg := DefaultConfig(6)
 	cfg.Epochs = 12
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Score(ts.Unlabeled)
+	s, err := m.Score(context.Background(), ts.Unlabeled)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestScoreIsAnomalyProbability(t *testing.T) {
 
 func TestRequiresLabels(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }

@@ -4,6 +4,7 @@
 package baselines_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -116,10 +117,10 @@ func TestAllBaselinesFitAndScore(t *testing.T) {
 			if det.Name() != f.name {
 				t.Fatalf("Name = %q, want %q", det.Name(), f.name)
 			}
-			if err := det.Fit(b.Train); err != nil {
+			if err := det.Fit(context.Background(), b.Train); err != nil {
 				t.Fatal(err)
 			}
-			scores, err := det.Score(b.Test.X)
+			scores, err := det.Score(context.Background(), b.Test.X)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,7 +145,7 @@ func TestAllBaselinesFitAndScore(t *testing.T) {
 func TestBaselinesScoreUnfittedErrors(t *testing.T) {
 	for _, f := range fastFactories() {
 		det := f.new(1)
-		if _, err := det.Score(mat.New(1, 3)); err == nil {
+		if _, err := det.Score(context.Background(), mat.New(1, 3)); err == nil {
 			t.Fatalf("%s: scoring unfitted detector must error", det.Name())
 		}
 	}
@@ -165,7 +166,7 @@ func TestSemiSupervisedRequireLabels(t *testing.T) {
 		case "DeepSAD":
 			continue // degrades gracefully to DeepSVDD without labels
 		}
-		if err := det.Fit(noLabels); err == nil {
+		if err := det.Fit(context.Background(), noLabels); err == nil {
 			t.Fatalf("%s: fitting without labeled anomalies must error", det.Name())
 		}
 	}
@@ -184,7 +185,7 @@ func TestUnsupervisedIgnoreLabels(t *testing.T) {
 				continue
 			}
 			det := f.new(1)
-			if err := det.Fit(noLabels); err != nil {
+			if err := det.Fit(context.Background(), noLabels); err != nil {
 				t.Fatalf("%s must train unsupervised: %v", name, err)
 			}
 		}
@@ -209,10 +210,10 @@ func TestBaselinesDetectAnomaliesAboveChance(t *testing.T) {
 				t.Skip("RL/GAN baselines are too noisy at test budget for a hard bar")
 			}
 			det := f.new(3)
-			if err := det.Fit(b.Train); err != nil {
+			if err := det.Fit(context.Background(), b.Train); err != nil {
 				t.Fatal(err)
 			}
-			scores, err := det.Score(b.Test.X)
+			scores, err := det.Score(context.Background(), b.Test.X)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -233,18 +234,18 @@ func TestBaselineDeterminism(t *testing.T) {
 		f := f
 		t.Run(f.name, func(t *testing.T) {
 			d1 := f.new(5)
-			if err := d1.Fit(b.Train); err != nil {
+			if err := d1.Fit(context.Background(), b.Train); err != nil {
 				t.Fatal(err)
 			}
-			s1, err := d1.Score(b.Test.X)
+			s1, err := d1.Score(context.Background(), b.Test.X)
 			if err != nil {
 				t.Fatal(err)
 			}
 			d2 := f.new(5)
-			if err := d2.Fit(b.Train); err != nil {
+			if err := d2.Fit(context.Background(), b.Train); err != nil {
 				t.Fatal(err)
 			}
-			s2, err := d2.Score(b.Test.X)
+			s2, err := d2.Score(context.Background(), b.Test.X)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,7 +8,9 @@
 package deepsad
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"targad/internal/dataset"
@@ -70,7 +72,7 @@ func New(cfg Config) *DeepSAD {
 func (m *DeepSAD) Name() string { return "DeepSAD" }
 
 // Fit implements detector.Detector.
-func (m *DeepSAD) Fit(train *dataset.TrainSet) error {
+func (m *DeepSAD) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	x := train.Unlabeled
 	if x == nil || x.Rows == 0 {
 		return errors.New("deepsad: empty training data")
@@ -101,6 +103,9 @@ func (m *DeepSAD) Fit(train *dataset.TrainSet) error {
 	bat := nn.NewBatcher(x.Rows, m.cfg.BatchSize, r.Split("prebat"))
 	allParams := append(enc.Params(), dec.Params()...)
 	for e := 0; e < m.cfg.PretrainEpochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("deepsad: canceled: %w", err)
+		}
 		for b := 0; b < bat.BatchesPerEpoch(); b++ {
 			idx := bat.Next()
 			xb := nn.Gather(x, idx)
@@ -139,6 +144,9 @@ func (m *DeepSAD) Fit(train *dataset.TrainSet) error {
 	sadBat := nn.NewBatcher(x.Rows, m.cfg.BatchSize, r.Split("sadbat"))
 	hasLabeled := train.Labeled != nil && train.Labeled.Rows > 0
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("deepsad: canceled: %w", err)
+		}
 		for b := 0; b < sadBat.BatchesPerEpoch(); b++ {
 			idx := sadBat.Next()
 			xb := nn.Gather(x, idx)
@@ -177,7 +185,7 @@ func (m *DeepSAD) Fit(train *dataset.TrainSet) error {
 }
 
 // Score implements detector.Detector: ‖φ(x)−c‖².
-func (m *DeepSAD) Score(x *mat.Matrix) ([]float64, error) {
+func (m *DeepSAD) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.encoder == nil {
 		return nil, errors.New("deepsad: not fitted")
 	}

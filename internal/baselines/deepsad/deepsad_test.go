@@ -1,6 +1,7 @@
 package deepsad
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -27,7 +28,7 @@ func TestCenterDistanceOrdering(t *testing.T) {
 	cfg.PretrainEpochs = 4
 	cfg.Epochs = 15
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 5)
@@ -35,7 +36,7 @@ func TestCenterDistanceOrdering(t *testing.T) {
 		probe.Set(0, j, 0.4)  // normal-like
 		probe.Set(1, j, 0.85) // anomaly-like
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestCenterNotDegenerate(t *testing.T) {
 	cfg.PretrainEpochs = 2
 	cfg.Epochs = 2
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	for i, c := range m.center {
@@ -76,17 +77,17 @@ func TestUnsupervisedFallback(t *testing.T) {
 	cfg.PretrainEpochs = 2
 	cfg.Epochs = 3
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Score(ts.Unlabeled); err != nil {
+	if _, err := m.Score(context.Background(), ts.Unlabeled); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestEmptyDataErrors(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(0, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(0, 2)}); err == nil {
 		t.Fatal("empty unlabeled pool must error")
 	}
 }

@@ -7,7 +7,9 @@
 package devnet
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"targad/internal/dataset"
@@ -68,7 +70,7 @@ func New(cfg Config) *DevNet {
 func (m *DevNet) Name() string { return "DevNet" }
 
 // Fit implements detector.Detector.
-func (m *DevNet) Fit(train *dataset.TrainSet) error {
+func (m *DevNet) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("devnet: requires labeled anomalies")
 	}
@@ -98,6 +100,9 @@ func (m *DevNet) Fit(train *dataset.TrainSet) error {
 	batU := nn.NewBatcher(x.Rows, half, r.Split("bu"))
 	batA := nn.NewBatcher(train.Labeled.Rows, half, r.Split("ba"))
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("devnet: canceled: %w", err)
+		}
 		for b := 0; b < batU.BatchesPerEpoch(); b++ {
 			iu := batU.Next()
 			ia := batA.Next()
@@ -132,7 +137,7 @@ func (m *DevNet) Fit(train *dataset.TrainSet) error {
 
 // Score implements detector.Detector: the standardized deviation of
 // the learned score from the Gaussian reference.
-func (m *DevNet) Score(x *mat.Matrix) ([]float64, error) {
+func (m *DevNet) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.net == nil {
 		return nil, errors.New("devnet: not fitted")
 	}

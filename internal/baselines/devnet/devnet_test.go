@@ -1,6 +1,7 @@
 package devnet
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -29,7 +30,7 @@ func TestDeviationSeparation(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Epochs = 15
 	m := New(cfg)
-	if err := m.Fit(train); err != nil {
+	if err := m.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	// Anomaly-like inputs must deviate by ≥ a healthy margin above
@@ -40,7 +41,7 @@ func TestDeviationSeparation(t *testing.T) {
 		probe.Set(0, j, 0.3)
 		probe.Set(1, j, 0.9)
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRequiresLabels(t *testing.T) {
 	train := &dataset.TrainSet{
 		Labeled: mat.New(0, 3), NumTargetTypes: 1, Unlabeled: mat.New(5, 3),
 	}
-	if err := m.Fit(train); err == nil {
+	if err := m.Fit(context.Background(), train); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }
@@ -73,7 +74,7 @@ func TestEpochHookRuns(t *testing.T) {
 	var count int
 	cfg.EpochHook = func(int) { count++ }
 	m := New(cfg)
-	if err := m.Fit(train); err != nil {
+	if err := m.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	if count != 5 {

@@ -10,7 +10,9 @@
 package dplan
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"targad/internal/baselines/iforest"
 	"targad/internal/dataset"
@@ -84,7 +86,7 @@ type transition struct {
 }
 
 // Fit implements detector.Detector.
-func (m *DPLAN) Fit(train *dataset.TrainSet) error {
+func (m *DPLAN) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("dplan: requires labeled anomalies")
 	}
@@ -94,10 +96,10 @@ func (m *DPLAN) Fit(train *dataset.TrainSet) error {
 	// Unsupervised intrinsic reward: isolation scores of the
 	// unlabeled pool, scaled to [0,1].
 	forest := iforest.New(iforest.DefaultConfig(r.Int63()))
-	if err := forest.Fit(train); err != nil {
+	if err := forest.Fit(ctx, train); err != nil {
 		return err
 	}
-	iso, err := forest.Score(x)
+	iso, err := forest.Score(ctx, x)
 	if err != nil {
 		return err
 	}
@@ -144,6 +146,9 @@ func (m *DPLAN) Fit(train *dataset.TrainSet) error {
 	state, lab := r.Intn(x.Rows), false
 	one := mat.New(1, x.Cols)
 	for step := 0; step < m.cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dplan: canceled: %w", err)
+		}
 		eps := m.cfg.EpsStart + (m.cfg.EpsEnd-m.cfg.EpsStart)*float64(step)/float64(m.cfg.Steps)
 		var action int
 		if r.Bernoulli(eps) {
@@ -239,7 +244,7 @@ func syncNets(dst, src *nn.MLP) {
 }
 
 // Score implements detector.Detector: Q(s, flag-anomaly).
-func (m *DPLAN) Score(x *mat.Matrix) ([]float64, error) {
+func (m *DPLAN) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.q == nil {
 		return nil, errors.New("dplan: not fitted")
 	}

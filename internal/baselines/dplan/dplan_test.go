@@ -1,6 +1,7 @@
 package dplan
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -26,7 +27,7 @@ func TestQValuesSeparate(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Steps = 3000
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 4)
@@ -34,7 +35,7 @@ func TestQValuesSeparate(t *testing.T) {
 		probe.Set(0, j, 0.35)
 		probe.Set(1, j, 0.9)
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSyncNetsCopies(t *testing.T) {
 	cfg := DefaultConfig(4)
 	cfg.Steps = 300
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	// Smoke of the internal target-sync path: training must not panic
@@ -64,7 +65,7 @@ func TestSyncNetsCopies(t *testing.T) {
 
 func TestRequiresLabels(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }

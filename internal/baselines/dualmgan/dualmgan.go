@@ -10,7 +10,9 @@
 package dualmgan
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"targad/internal/dataset"
 	"targad/internal/mat"
@@ -68,7 +70,7 @@ func New(cfg Config) *DualMGAN {
 func (m *DualMGAN) Name() string { return "Dual-MGAN" }
 
 // Fit implements detector.Detector.
-func (m *DualMGAN) Fit(train *dataset.TrainSet) error {
+func (m *DualMGAN) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("dualmgan: requires labeled anomalies")
 	}
@@ -142,6 +144,9 @@ func (m *DualMGAN) Fit(train *dataset.TrainSet) error {
 	}
 
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dualmgan: canceled: %w", err)
+		}
 		for b := 0; b < batU.BatchesPerEpoch(); b++ {
 			iu := batU.Next()
 			ia := batA.Next()
@@ -262,7 +267,7 @@ func clamp01(v float64) float64 {
 }
 
 // Score implements detector.Detector: the detector logit.
-func (m *DualMGAN) Score(x *mat.Matrix) ([]float64, error) {
+func (m *DualMGAN) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.det == nil {
 		return nil, errors.New("dualmgan: not fitted")
 	}

@@ -8,7 +8,9 @@
 package feawad
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"targad/internal/autoencoder"
@@ -71,7 +73,7 @@ func New(cfg Config) *FEAWAD {
 func (m *FEAWAD) Name() string { return "FEAWAD" }
 
 // Fit implements detector.Detector.
-func (m *FEAWAD) Fit(train *dataset.TrainSet) error {
+func (m *FEAWAD) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("feawad: requires labeled anomalies")
 	}
@@ -121,6 +123,9 @@ func (m *FEAWAD) Fit(train *dataset.TrainSet) error {
 	batU := nn.NewBatcher(featU.Rows, m.cfg.BatchSize/2, r.Split("bu"))
 	batA := nn.NewBatcher(featA.Rows, m.cfg.BatchSize/2, r.Split("ba"))
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("feawad: canceled: %w", err)
+		}
 		for b := 0; b < batU.BatchesPerEpoch(); b++ {
 			iu := batU.Next()
 			ia := batA.Next()
@@ -180,7 +185,7 @@ func (m *FEAWAD) features(x *mat.Matrix) (*mat.Matrix, error) {
 }
 
 // Score implements detector.Detector.
-func (m *FEAWAD) Score(x *mat.Matrix) ([]float64, error) {
+func (m *FEAWAD) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.scorer == nil {
 		return nil, errors.New("feawad: not fitted")
 	}

@@ -1,6 +1,7 @@
 package feawad
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestCompositeFeatureWidth(t *testing.T) {
 	cfg.AEEpochs = 2
 	cfg.Epochs = 2
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	feat, err := m.features(ts.Unlabeled)
@@ -64,7 +65,7 @@ func TestDeviationOrdering(t *testing.T) {
 	cfg.AEEpochs = 8
 	cfg.Epochs = 12
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 5)
@@ -72,7 +73,7 @@ func TestDeviationOrdering(t *testing.T) {
 		probe.Set(0, j, 0.4)
 		probe.Set(1, j, 0.85)
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestDeviationOrdering(t *testing.T) {
 
 func TestRequiresLabels(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }

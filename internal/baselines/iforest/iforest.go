@@ -6,6 +6,7 @@
 package iforest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,7 +68,7 @@ func (f *Forest) Name() string { return "iForest" }
 
 // Fit builds the ensemble on the unlabeled pool (iForest is
 // unsupervised; labeled anomalies are ignored).
-func (f *Forest) Fit(train *dataset.TrainSet) error {
+func (f *Forest) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	x := train.Unlabeled
 	if x == nil || x.Rows == 0 {
 		return errors.New("iforest: empty training data")
@@ -80,6 +81,9 @@ func (f *Forest) Fit(train *dataset.TrainSet) error {
 	r := rng.New(f.cfg.Seed)
 	f.trees = make([]tree, f.cfg.Trees)
 	for t := range f.trees {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("iforest: canceled: %w", err)
+		}
 		tr := r.SplitN("tree", t)
 		idx := tr.Sample(x.Rows, psi)
 		f.trees[t] = buildTree(x, idx, heightLimit, tr)
@@ -177,7 +181,7 @@ func avgPathLength(n int) float64 {
 }
 
 // Score implements detector.Detector: s(x) = 2^(−E[h(x)]/c(ψ)).
-func (f *Forest) Score(x *mat.Matrix) ([]float64, error) {
+func (f *Forest) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if f.trees == nil {
 		return nil, errors.New("iforest: not fitted")
 	}

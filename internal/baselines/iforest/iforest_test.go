@@ -1,6 +1,7 @@
 package iforest
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestForestSeparatesOutlier(t *testing.T) {
 		}
 	}
 	f := New(Config{Trees: 50, SampleSize: 128, Seed: 3})
-	if err := f.Fit(&dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 4)}); err != nil {
+	if err := f.Fit(context.Background(), &dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 4)}); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 4)
@@ -49,7 +50,7 @@ func TestForestSeparatesOutlier(t *testing.T) {
 	for j := 0; j < 4; j++ {
 		probe.Set(1, j, 0.99) // far outlier
 	}
-	s, err := f.Score(probe)
+	s, err := f.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,10 +72,10 @@ func TestForestConstantData(t *testing.T) {
 		x.Data[i] = 0.5
 	}
 	f := New(Config{Trees: 10, SampleSize: 32, Seed: 1})
-	if err := f.Fit(&dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 3)}); err != nil {
+	if err := f.Fit(context.Background(), &dataset.TrainSet{Unlabeled: x, NumTargetTypes: 1, Labeled: mat.New(0, 3)}); err != nil {
 		t.Fatal(err)
 	}
-	s, err := f.Score(x)
+	s, err := f.Score(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +88,10 @@ func TestForestConstantData(t *testing.T) {
 
 func TestForestErrors(t *testing.T) {
 	f := New(Config{})
-	if err := f.Fit(&dataset.TrainSet{Unlabeled: mat.New(0, 2), NumTargetTypes: 1, Labeled: mat.New(0, 2)}); err == nil {
+	if err := f.Fit(context.Background(), &dataset.TrainSet{Unlabeled: mat.New(0, 2), NumTargetTypes: 1, Labeled: mat.New(0, 2)}); err == nil {
 		t.Fatal("empty data must error")
 	}
-	if _, err := f.Score(mat.New(1, 2)); err == nil {
+	if _, err := f.Score(context.Background(), mat.New(1, 2)); err == nil {
 		t.Fatal("unfitted forest must error")
 	}
 }

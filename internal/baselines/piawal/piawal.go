@@ -9,7 +9,9 @@
 package piawal
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"targad/internal/dataset"
 	"targad/internal/mat"
@@ -60,7 +62,7 @@ func New(cfg Config) *PIAWAL {
 func (m *PIAWAL) Name() string { return "PIA-WAL" }
 
 // Fit implements detector.Detector.
-func (m *PIAWAL) Fit(train *dataset.TrainSet) error {
+func (m *PIAWAL) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("piawal: requires labeled anomalies")
 	}
@@ -94,6 +96,9 @@ func (m *PIAWAL) Fit(train *dataset.TrainSet) error {
 	batA := nn.NewBatcher(train.Labeled.Rows, half, r.Split("ba"))
 	noise := r.Split("noise")
 	for e := 0; e < m.cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("piawal: canceled: %w", err)
+		}
 		for b := 0; b < batU.BatchesPerEpoch(); b++ {
 			iu := batU.Next()
 			ia := batA.Next()
@@ -166,7 +171,7 @@ func (m *PIAWAL) Fit(train *dataset.TrainSet) error {
 }
 
 // Score implements detector.Detector: the discriminator logit.
-func (m *PIAWAL) Score(x *mat.Matrix) ([]float64, error) {
+func (m *PIAWAL) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.d == nil {
 		return nil, errors.New("piawal: not fitted")
 	}

@@ -1,6 +1,7 @@
 package piawal
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -36,7 +37,7 @@ func TestDiscriminatorOrdering(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Epochs = 30
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 5)
@@ -44,7 +45,7 @@ func TestDiscriminatorOrdering(t *testing.T) {
 		probe.Set(0, j, 0.35)
 		probe.Set(1, j, 0.9)
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +56,14 @@ func TestDiscriminatorOrdering(t *testing.T) {
 
 func TestRequiresLabels(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }
 
 func TestUnfittedScoreErrors(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if _, err := m.Score(mat.New(1, 2)); err == nil {
+	if _, err := m.Score(context.Background(), mat.New(1, 2)); err == nil {
 		t.Fatal("unfitted model must error")
 	}
 }

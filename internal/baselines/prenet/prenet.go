@@ -9,7 +9,9 @@
 package prenet
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"targad/internal/dataset"
 	"targad/internal/mat"
@@ -71,7 +73,7 @@ func New(cfg Config) *PReNet {
 func (m *PReNet) Name() string { return "PReNet" }
 
 // Fit implements detector.Detector.
-func (m *PReNet) Fit(train *dataset.TrainSet) error {
+func (m *PReNet) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("prenet: requires labeled anomalies")
 	}
@@ -94,6 +96,9 @@ func (m *PReNet) Fit(train *dataset.TrainSet) error {
 	pairs := mat.New(m.cfg.BatchSize, 2*x.Cols)
 	targets := mat.New(m.cfg.BatchSize, 1)
 	for s := 0; s < m.cfg.Steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("prenet: canceled: %w", err)
+		}
 		for i := 0; i < m.cfg.BatchSize; i++ {
 			dst := pairs.Row(i)
 			switch pr.Intn(3) {
@@ -130,7 +135,7 @@ func (m *PReNet) Fit(train *dataset.TrainSet) error {
 // paired with the anomaly anchors and the unlabeled anchors. A target
 // anomaly relates strongly to anomaly anchors (→ YAA) and moderately
 // to unlabeled ones (→ YAU), so its mean is high.
-func (m *PReNet) Score(x *mat.Matrix) ([]float64, error) {
+func (m *PReNet) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.net == nil {
 		return nil, errors.New("prenet: not fitted")
 	}

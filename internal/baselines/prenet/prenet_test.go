@@ -1,6 +1,7 @@
 package prenet
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -26,7 +27,7 @@ func TestRelationOrdering(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Steps = 800
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, 5)
@@ -34,7 +35,7 @@ func TestRelationOrdering(t *testing.T) {
 		probe.Set(0, j, 0.35) // unlabeled-like
 		probe.Set(1, j, 0.85) // anomaly-like
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestAnchorsBounded(t *testing.T) {
 	cfg.Steps = 50
 	cfg.ScorePairs = 64 // more than available; must clamp
 	m := New(cfg)
-	if err := m.Fit(ts); err != nil {
+	if err := m.Fit(context.Background(), ts); err != nil {
 		t.Fatal(err)
 	}
 	if m.anchorsA.Rows != 5 {
@@ -66,7 +67,7 @@ func TestAnchorsBounded(t *testing.T) {
 
 func TestRequiresLabels(t *testing.T) {
 	m := New(DefaultConfig(1))
-	if err := m.Fit(&dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
+	if err := m.Fit(context.Background(), &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(5, 2)}); err == nil {
 		t.Fatal("must require labeled anomalies")
 	}
 }

@@ -9,7 +9,9 @@
 package pumad
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"targad/internal/baselines/common"
@@ -71,7 +73,7 @@ func New(cfg Config) *PUMAD {
 func (m *PUMAD) Name() string { return "PUMAD" }
 
 // Fit implements detector.Detector.
-func (m *PUMAD) Fit(train *dataset.TrainSet) error {
+func (m *PUMAD) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	if train.Labeled == nil || train.Labeled.Rows == 0 {
 		return errors.New("pumad: requires labeled anomalies")
 	}
@@ -105,6 +107,9 @@ func (m *PUMAD) Fit(train *dataset.TrainSet) error {
 	tr := r.Split("triplets")
 	steps := m.cfg.Epochs * maxInt(1, nRel/m.cfg.BatchSize)
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pumad: canceled: %w", err)
+		}
 		bs := m.cfg.BatchSize
 		anchor := mat.New(bs, x.Cols)
 		pos := mat.New(bs, x.Cols)
@@ -172,7 +177,7 @@ func tripletStep(net *nn.MLP, anchor, pos, neg *mat.Matrix, margin float64) {
 
 // Score implements detector.Detector: distance-to-normal minus
 // distance-to-anomaly prototype (larger ⇒ more anomalous).
-func (m *PUMAD) Score(x *mat.Matrix) ([]float64, error) {
+func (m *PUMAD) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.net == nil {
 		return nil, errors.New("pumad: not fitted")
 	}

@@ -1,6 +1,7 @@
 package pumad
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/baselines/common"
@@ -44,7 +45,7 @@ func TestPrototypeOrdering(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Epochs = 10
 	m := New(cfg)
-	if err := m.Fit(train); err != nil {
+	if err := m.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	probe := mat.New(2, d)
@@ -52,7 +53,7 @@ func TestPrototypeOrdering(t *testing.T) {
 		probe.Set(0, j, 0.3) // normal-like → near normal prototype
 		probe.Set(1, j, 0.9) // anomaly-like → near anomaly prototype
 	}
-	s, err := m.Score(probe)
+	s, err := m.Score(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}

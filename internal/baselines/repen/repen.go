@@ -8,7 +8,9 @@
 package repen
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -75,7 +77,7 @@ func (m *REPEN) Name() string { return "REPEN" }
 
 // Fit implements detector.Detector. REPEN is unsupervised: it trains
 // only on the unlabeled pool.
-func (m *REPEN) Fit(train *dataset.TrainSet) error {
+func (m *REPEN) Fit(ctx context.Context, train *dataset.TrainSet) error {
 	x := train.Unlabeled
 	if x == nil || x.Rows < 4 {
 		return errors.New("repen: too few training instances")
@@ -116,6 +118,9 @@ func (m *REPEN) Fit(train *dataset.TrainSet) error {
 	}
 	tr := r.Split("triplets")
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("repen: canceled: %w", err)
+		}
 		bs := m.cfg.BatchSize
 		anchor := mat.New(bs, x.Cols)
 		pos := mat.New(bs, x.Cols)
@@ -173,7 +178,7 @@ func tripletStep(net *nn.MLP, anchor, pos, neg *mat.Matrix, margin float64) {
 
 // Score implements detector.Detector: the distance to the nearest
 // reference neighbor in embedding space.
-func (m *REPEN) Score(x *mat.Matrix) ([]float64, error) {
+func (m *REPEN) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if m.net == nil {
 		return nil, errors.New("repen: not fitted")
 	}

@@ -1,6 +1,7 @@
 package repen
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/dataset"
@@ -48,7 +49,7 @@ func TestREPENEmbeddingShape(t *testing.T) {
 	cfg.EmbedDim = 5
 	m := New(cfg)
 	train := &dataset.TrainSet{Labeled: mat.New(0, 6), NumTargetTypes: 1, Unlabeled: x}
-	if err := m.Fit(train); err != nil {
+	if err := m.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	z := m.net.Forward(x)
@@ -60,7 +61,7 @@ func TestREPENEmbeddingShape(t *testing.T) {
 func TestREPENTooFewInstances(t *testing.T) {
 	m := New(DefaultConfig(1))
 	train := &dataset.TrainSet{Labeled: mat.New(0, 2), NumTargetTypes: 1, Unlabeled: mat.New(2, 2)}
-	if err := m.Fit(train); err == nil {
+	if err := m.Fit(context.Background(), train); err == nil {
 		t.Fatal("tiny pool must error")
 	}
 }

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 
 	"targad/internal/cluster"
@@ -14,7 +15,7 @@ func ExampleKMeans() {
 		{0.1, 0.1}, {0.12, 0.09}, {0.11, 0.11},
 		{0.9, 0.9}, {0.88, 0.91}, {0.91, 0.89},
 	})
-	res, _ := cluster.KMeans(x, cluster.Config{K: 2}, rng.New(1))
+	res, _ := cluster.KMeans(context.Background(), x, cluster.Config{K: 2}, rng.New(1))
 	same := res.Assignment[0] == res.Assignment[1] && res.Assignment[1] == res.Assignment[2]
 	split := res.Assignment[0] != res.Assignment[3]
 	fmt.Println(same, split)

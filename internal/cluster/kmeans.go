@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -35,8 +36,9 @@ type Config struct {
 var ErrBadK = errors.New("cluster: k must be in [1, number of instances]")
 
 // KMeans clusters the rows of x into cfg.K groups using k-means++
-// initialization followed by Lloyd iterations.
-func KMeans(x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
+// initialization followed by Lloyd iterations. Cancellation is checked
+// between Lloyd iterations; a canceled run returns ctx.Err().
+func KMeans(ctx context.Context, x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
 	n, d := x.Rows, x.Cols
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadK, cfg.K, n)
@@ -58,6 +60,9 @@ func KMeans(x *mat.Matrix, cfg Config, r *rng.RNG) (*Result, error) {
 	var inertia float64
 	var iter int
 	for iter = 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: kmeans canceled at iteration %d: %w", iter, err)
+		}
 		// Assignment step: per-row nearest centroid, in parallel
 		// chunks. sizes and inertia are folded serially in row order
 		// afterwards, so the sum is bitwise identical for any worker
@@ -192,7 +197,7 @@ func (res *Result) Predict(row []float64) int {
 // (k, inertia) curve is farthest from the chord connecting the curve's
 // endpoints — the standard geometric "knee" criterion. This mirrors
 // the paper's statement that k was selected with the elbow method.
-func ChooseK(x *mat.Matrix, kMin, kMax int, r *rng.RNG) (int, []float64, error) {
+func ChooseK(ctx context.Context, x *mat.Matrix, kMin, kMax int, r *rng.RNG) (int, []float64, error) {
 	if kMin < 1 || kMax < kMin {
 		return 0, nil, fmt.Errorf("cluster: invalid k range [%d,%d]", kMin, kMax)
 	}
@@ -210,7 +215,7 @@ func ChooseK(x *mat.Matrix, kMin, kMax int, r *rng.RNG) (int, []float64, error) 
 	inertias := make([]float64, nk)
 	errs := make([]error, nk)
 	parallel.Map(nk, func(i int) {
-		res, err := KMeans(x, Config{K: kMin + i}, rngs[i])
+		res, err := KMeans(ctx, x, Config{K: kMin + i}, rngs[i])
 		if err != nil {
 			errs[i] = err
 			return

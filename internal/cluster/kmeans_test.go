@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func threeBlobs(n int, r *rng.RNG) (*mat.Matrix, []int) {
 func TestKMeansRecoversSeparatedBlobs(t *testing.T) {
 	r := rng.New(1)
 	x, truth := threeBlobs(300, r)
-	res, err := KMeans(x, Config{K: 3}, r)
+	res, err := KMeans(context.Background(), x, Config{K: 3}, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestKMeansRecoversSeparatedBlobs(t *testing.T) {
 func TestKMeansInvariants(t *testing.T) {
 	r := rng.New(2)
 	x, _ := threeBlobs(120, r)
-	res, err := KMeans(x, Config{K: 4}, r)
+	res, err := KMeans(context.Background(), x, Config{K: 4}, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestKMeansInertiaDecreasesWithK(t *testing.T) {
 	x, _ := threeBlobs(150, r)
 	prev := math.Inf(1)
 	for k := 1; k <= 5; k++ {
-		res, err := KMeans(x, Config{K: k}, r.SplitN("k", k))
+		res, err := KMeans(context.Background(), x, Config{K: k}, r.SplitN("k", k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,10 +115,10 @@ func TestKMeansInertiaDecreasesWithK(t *testing.T) {
 func TestKMeansBadK(t *testing.T) {
 	x := mat.New(5, 2)
 	r := rng.New(4)
-	if _, err := KMeans(x, Config{K: 0}, r); err == nil {
+	if _, err := KMeans(context.Background(), x, Config{K: 0}, r); err == nil {
 		t.Fatal("k=0 must error")
 	}
-	if _, err := KMeans(x, Config{K: 6}, r); err == nil {
+	if _, err := KMeans(context.Background(), x, Config{K: 6}, r); err == nil {
 		t.Fatal("k>n must error")
 	}
 }
@@ -126,7 +127,7 @@ func TestKMeansKEqualsN(t *testing.T) {
 	r := rng.New(5)
 	x := mat.New(4, 2)
 	r.FillUniform(x.Data, 0, 1)
-	res, err := KMeans(x, Config{K: 4}, r)
+	res, err := KMeans(context.Background(), x, Config{K: 4}, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestKMeansDuplicatePoints(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = 0.5
 	}
-	res, err := KMeans(x, Config{K: 3}, rng.New(6))
+	res, err := KMeans(context.Background(), x, Config{K: 3}, rng.New(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestKMeansDuplicatePoints(t *testing.T) {
 func TestPredictMatchesAssignment(t *testing.T) {
 	r := rng.New(7)
 	x, _ := threeBlobs(90, r)
-	res, err := KMeans(x, Config{K: 3}, r)
+	res, err := KMeans(context.Background(), x, Config{K: 3}, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestPredictMatchesAssignment(t *testing.T) {
 func TestChooseKFindsElbow(t *testing.T) {
 	r := rng.New(8)
 	x, _ := threeBlobs(240, r)
-	k, inertias, err := ChooseK(x, 1, 8, r)
+	k, inertias, err := ChooseK(context.Background(), x, 1, 8, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,14 +184,14 @@ func TestChooseKFindsElbow(t *testing.T) {
 func TestChooseKValidation(t *testing.T) {
 	x := mat.New(10, 2)
 	r := rng.New(9)
-	if _, _, err := ChooseK(x, 0, 3, r); err == nil {
+	if _, _, err := ChooseK(context.Background(), x, 0, 3, r); err == nil {
 		t.Fatal("kMin=0 must error")
 	}
-	if _, _, err := ChooseK(x, 5, 3, r); err == nil {
+	if _, _, err := ChooseK(context.Background(), x, 5, 3, r); err == nil {
 		t.Fatal("kMax<kMin must error")
 	}
 	// Single k degenerates gracefully.
-	k, _, err := ChooseK(x, 2, 2, r)
+	k, _, err := ChooseK(context.Background(), x, 2, 2, r)
 	if err != nil || k != 2 {
 		t.Fatalf("single-candidate ChooseK = %d, %v", k, err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,7 +29,7 @@ type MiniBatchConfig struct {
 //
 // The result's Assignment, Sizes, and Inertia are computed with one
 // final full pass, so they have the same meaning as KMeans's.
-func MiniBatchKMeans(x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, error) {
+func MiniBatchKMeans(ctx context.Context, x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, error) {
 	n := x.Rows
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadK, cfg.K, n)
@@ -55,6 +56,9 @@ func MiniBatchKMeans(x *mat.Matrix, cfg MiniBatchConfig, r *rng.RNG) (*Result, e
 		}
 	}
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: mini-batch kmeans canceled at iteration %d: %w", it, err)
+		}
 		idx := r.Sample(n, batch)
 		// Assignment pass over the batch, split across the worker
 		// pool (rows are independent; per-batch-slot writes only).

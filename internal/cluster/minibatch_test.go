@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/rng"
@@ -9,7 +10,7 @@ import (
 func TestMiniBatchRecoversBlobs(t *testing.T) {
 	r := rng.New(1)
 	x, truth := threeBlobs(600, r)
-	res, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 80}, r)
+	res, err := MiniBatchKMeans(context.Background(), x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 80}, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,11 @@ func TestMiniBatchRecoversBlobs(t *testing.T) {
 func TestMiniBatchInertiaNearLloyd(t *testing.T) {
 	r := rng.New(2)
 	x, _ := threeBlobs(600, r)
-	lloyd, err := KMeans(x, Config{K: 3}, r.Split("lloyd"))
+	lloyd, err := KMeans(context.Background(), x, Config{K: 3}, r.Split("lloyd"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mb, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 120}, r.Split("mb"))
+	mb, err := MiniBatchKMeans(context.Background(), x, MiniBatchConfig{K: 3, BatchSize: 128, Iters: 120}, r.Split("mb"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,14 +55,14 @@ func TestMiniBatchInertiaNearLloyd(t *testing.T) {
 func TestMiniBatchValidation(t *testing.T) {
 	r := rng.New(3)
 	x, _ := threeBlobs(30, r)
-	if _, err := MiniBatchKMeans(x, MiniBatchConfig{K: 0}, r); err == nil {
+	if _, err := MiniBatchKMeans(context.Background(), x, MiniBatchConfig{K: 0}, r); err == nil {
 		t.Fatal("k=0 must error")
 	}
-	if _, err := MiniBatchKMeans(x, MiniBatchConfig{K: 31}, r); err == nil {
+	if _, err := MiniBatchKMeans(context.Background(), x, MiniBatchConfig{K: 31}, r); err == nil {
 		t.Fatal("k>n must error")
 	}
 	// Batch size beyond n clamps.
-	res, err := MiniBatchKMeans(x, MiniBatchConfig{K: 3, BatchSize: 10_000, Iters: 10}, r)
+	res, err := MiniBatchKMeans(context.Background(), x, MiniBatchConfig{K: 3, BatchSize: 10_000, Iters: 10}, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/mat"
@@ -45,14 +46,14 @@ func TestKMeansParallelBitwiseIdentical(t *testing.T) {
 	var serial, par *Result
 	runAt(t, 1, func() {
 		var err error
-		if serial, err = KMeans(x, Config{K: 5}, rng.New(7)); err != nil {
+		if serial, err = KMeans(context.Background(), x, Config{K: 5}, rng.New(7)); err != nil {
 			t.Fatal(err)
 		}
 	})
 	for _, w := range []int{2, 4, 8} {
 		runAt(t, w, func() {
 			var err error
-			if par, err = KMeans(x, Config{K: 5}, rng.New(7)); err != nil {
+			if par, err = KMeans(context.Background(), x, Config{K: 5}, rng.New(7)); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -66,13 +67,13 @@ func TestMiniBatchKMeansParallelBitwiseIdentical(t *testing.T) {
 	var serial, par *Result
 	runAt(t, 1, func() {
 		var err error
-		if serial, err = MiniBatchKMeans(x, cfg, rng.New(9)); err != nil {
+		if serial, err = MiniBatchKMeans(context.Background(), x, cfg, rng.New(9)); err != nil {
 			t.Fatal(err)
 		}
 	})
 	runAt(t, 4, func() {
 		var err error
-		if par, err = MiniBatchKMeans(x, cfg, rng.New(9)); err != nil {
+		if par, err = MiniBatchKMeans(context.Background(), x, cfg, rng.New(9)); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -85,13 +86,13 @@ func TestChooseKParallelBitwiseIdentical(t *testing.T) {
 	var si, pi []float64
 	runAt(t, 1, func() {
 		var err error
-		if sk, si, err = ChooseK(x, 2, 6, rng.New(5)); err != nil {
+		if sk, si, err = ChooseK(context.Background(), x, 2, 6, rng.New(5)); err != nil {
 			t.Fatal(err)
 		}
 	})
 	runAt(t, 4, func() {
 		var err error
-		if pk, pi, err = ChooseK(x, 2, 6, rng.New(5)); err != nil {
+		if pk, pi, err = ChooseK(context.Background(), x, 2, 6, rng.New(5)); err != nil {
 			t.Fatal(err)
 		}
 	})

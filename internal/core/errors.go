@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InternalError wraps a panic recovered at the public detector API
+// boundary (Fit/Score). Shape violations deep in internal/mat or
+// internal/nn and worker panics in internal/parallel panic by design —
+// they indicate programmer error — but a serving system must never
+// crash a whole process over one bad request, so the boundary converts
+// them into a typed error carrying the panic value and stack.
+type InternalError struct {
+	// Op is the public operation that panicked ("fit", "score").
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("targad: internal panic during %s: %v", e.Op, e.Value)
+}
+
+// CheckpointError reports a failure writing, reading, or validating a
+// training checkpoint. Checkpoint faults abort the run loudly — a
+// training job that silently loses its crash-recovery state is exactly
+// the failure mode checkpoints exist to prevent.
+type CheckpointError struct {
+	Path string
+	Op   string // "write", "read", "validate"
+	Err  error
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("targad: checkpoint %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
+// recoverToError converts a panic escaping a public API call into an
+// *InternalError written to err. Use as:
+//
+//	defer recoverToError("fit", &err)
+func recoverToError(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Op: op, Value: r, Stack: debug.Stack()}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestFitRejectsDimensionalityMismatch(t *testing.T) {
 		Unlabeled:      b.Train.Unlabeled,
 	}
 	m := New(testConfig(), 1)
-	if err := m.Fit(bad); err == nil {
+	if err := m.Fit(context.Background(), bad); err == nil {
 		t.Fatal("mismatched labeled width must error")
 	}
 }
@@ -28,10 +29,10 @@ func TestFitRejectsDimensionalityMismatch(t *testing.T) {
 func TestScoreRejectsWrongWidth(t *testing.T) {
 	b := testBundle(t, 21)
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Score(mat.New(3, b.Train.Dim()+2)); err == nil {
+	if _, err := m.Score(context.Background(), mat.New(3, b.Train.Dim()+2)); err == nil {
 		t.Fatal("wrong score width must error")
 	}
 	if _, err := m.Identify(mat.New(3, b.Train.Dim()+2), MSP); err == nil {
@@ -50,10 +51,10 @@ func TestFitSurvivesConstantFeatures(t *testing.T) {
 		b.Train.Labeled.Set(i, 0, 0.5)
 	}
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Score(b.Test.X)
+	s, err := m.Score(context.Background(), b.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFitSurvivesDuplicateUnlabeledRows(t *testing.T) {
 		copy(u.Row(i), u.Row(0))
 	}
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -96,10 +97,10 @@ func TestFitSingleTargetType(t *testing.T) {
 		Unlabeled:      b.Train.Unlabeled,
 	}
 	m := New(testConfig(), 1)
-	if err := m.Fit(single); err != nil {
+	if err := m.Fit(context.Background(), single); err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Score(b.Test.X)
+	s, err := m.Score(context.Background(), b.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFitTinyUnlabeledPool(t *testing.T) {
 	cfg := testConfig()
 	cfg.K = 2
 	m := New(cfg, 1)
-	if err := m.Fit(tiny); err != nil {
+	if err := m.Fit(context.Background(), tiny); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// Wire-format compatibility: testdata/model_v1.gob is a format-v1 save
+// file committed to the repo. Every future build must keep decoding it
+// and producing the exact scores pinned in model_v1_scores.txt — if
+// savedModel changes shape, bump modelFormatVersion and keep a v1
+// decode path instead of breaking old files.
+//
+// Regenerate (only when intentionally re-pinning):
+//
+//	TARGAD_WRITE_FIXTURES=1 go test ./internal/core -run TestModelV1Fixture
+
+const (
+	fixtureModel  = "testdata/model_v1.gob"
+	fixtureScores = "testdata/model_v1_scores.txt"
+)
+
+// fixtureInput builds the deterministic matrix the fixture scores are
+// pinned against. It depends only on the rng package, not on the
+// synthetic dataset generator, so dataset changes cannot invalidate it.
+func fixtureInput(dim int) *mat.Matrix {
+	r := rng.New(7)
+	x := mat.New(16, dim)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	return x
+}
+
+func TestModelV1FixtureDecodes(t *testing.T) {
+	if os.Getenv("TARGAD_WRITE_FIXTURES") != "" {
+		writeModelFixture(t)
+	}
+	raw, err := os.ReadFile(fixtureModel)
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with TARGAD_WRITE_FIXTURES=1): %v", err)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 fixture no longer decodes: %v", err)
+	}
+	if m.m != 2 || m.k != 2 || m.dim != 32 {
+		t.Fatalf("fixture metadata drifted: m=%d k=%d dim=%d, want 2/2/32", m.m, m.k, m.dim)
+	}
+	got, err := m.Score(context.Background(), fixtureInput(m.dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readPinnedScores(t)
+	if len(got) != len(want) {
+		t.Fatalf("%d scores, pinned %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d drifted from pinned value: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeEnvelope(&buf, kindModel, 99, &savedModel{M: 1, K: 1, Dim: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("version 99 must be rejected with ErrUnknownVersion, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(envelope{Magic: "NOTTARGAD", Kind: kindModel, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("wrong magic must be rejected with ErrBadFormat, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeEnvelope(&buf, kindCheckpoint, 1, &checkpointFile{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("a checkpoint stream handed to Load must fail with ErrBadFormat, got %v", err)
+	}
+}
+
+// writeModelFixture trains a small deterministic model and re-pins both
+// fixture files.
+func writeModelFixture(t *testing.T) {
+	t.Helper()
+	b := testBundle(t, 7)
+	m := New(testConfig(), 7)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(fixtureModel), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fixtureModel, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score(context.Background(), fixtureInput(m.dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	for _, s := range scores {
+		sb.WriteString(strconv.FormatFloat(s, 'g', -1, 64))
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(fixtureScores, sb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("re-pinned %s and %s", fixtureModel, fixtureScores)
+}
+
+func readPinnedScores(t *testing.T) []float64 {
+	t.Helper()
+	f, err := os.Open(fixtureScores)
+	if err != nil {
+		t.Fatalf("missing pinned scores (regenerate with TARGAD_WRITE_FIXTURES=1): %v", err)
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"targad/internal/core"
@@ -28,10 +29,10 @@ func fitAndScore(t *testing.T, workers int) []float64 {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	m := core.New(cfg, 42)
-	if err := m.Fit(bundle.Train); err != nil {
+	if err := m.Fit(context.Background(), bundle.Train); err != nil {
 		t.Fatal(err)
 	}
-	scores, err := m.Score(bundle.Test.X)
+	scores, err := m.Score(context.Background(), bundle.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +79,14 @@ func TestScoreOnlyParallelSerialIdentical(t *testing.T) {
 	cfg.AELR = 1e-3
 	cfg.ClfLR = 1e-3
 	m := core.New(cfg, 5)
-	if err := m.Fit(bundle.Train); err != nil {
+	if err := m.Fit(context.Background(), bundle.Train); err != nil {
 		t.Fatal(err)
 	}
 
 	score := func(w int) []float64 {
 		prev := parallel.SetWorkers(w)
 		defer parallel.SetWorkers(prev)
-		s, err := m.Score(bundle.Test.X)
+		s, err := m.Score(context.Background(), bundle.Test.X)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,66 @@ import (
 	"targad/internal/rng"
 )
 
+// Versioned gob envelope. Every file this package writes — saved
+// models and training checkpoints — starts with the same header, so a
+// reader can tell "not one of our files" from "a newer format than
+// this binary understands" and say so, instead of surfacing a
+// confusing gob decode failure from misaligned payloads.
+const (
+	persistMagic = "TARGADGOB"
+
+	kindModel      = "model"
+	kindCheckpoint = "checkpoint"
+
+	// modelFormatVersion is bumped whenever savedModel changes
+	// incompatibly; checkpointFormatVersion likewise for
+	// checkpointFile.
+	modelFormatVersion      = 1
+	checkpointFormatVersion = 1
+)
+
+// ErrBadFormat reports a stream that does not carry this package's
+// envelope at all (wrong magic or wrong kind).
+var ErrBadFormat = errors.New("targad: not a recognized save file")
+
+// ErrUnknownVersion reports an envelope from a newer (or otherwise
+// unsupported) format version.
+var ErrUnknownVersion = errors.New("targad: unsupported save-file version")
+
+// envelope is the self-describing header preceding every payload.
+type envelope struct {
+	Magic   string
+	Kind    string
+	Version int
+}
+
+// writeEnvelope encodes the header followed by the payload on one gob
+// stream.
+func writeEnvelope(w io.Writer, kind string, version int, payload any) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(envelope{Magic: persistMagic, Kind: kind, Version: version}); err != nil {
+		return err
+	}
+	return enc.Encode(payload)
+}
+
+// readEnvelope validates the header and decodes the payload.
+func readEnvelope(r io.Reader, wantKind string, maxVersion int, payload any) error {
+	dec := gob.NewDecoder(r)
+	var h envelope
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("%w (header: %v)", ErrBadFormat, err)
+	}
+	if h.Magic != persistMagic || h.Kind != wantKind {
+		return fmt.Errorf("%w (magic %q, kind %q, want kind %q)", ErrBadFormat, h.Magic, h.Kind, wantKind)
+	}
+	if h.Version < 1 || h.Version > maxVersion {
+		return fmt.Errorf("%w: file is %s v%d, this build reads up to v%d",
+			ErrUnknownVersion, h.Kind, h.Version, maxVersion)
+	}
+	return dec.Decode(payload)
+}
+
 // savedModel is the gob wire format of a trained TargAD model: the
 // classifier parameters plus the metadata needed to rebuild an
 // identical network and reproduce scoring and identification.
@@ -23,10 +83,11 @@ type savedModel struct {
 	Params     [][]float64
 }
 
-// Save serializes the trained classifier and scoring metadata. The
-// candidate-selection artifacts (autoencoders, cluster assignments)
-// are training-time state and are not persisted — a loaded model can
-// Score and Identify but not resume training.
+// Save serializes the trained classifier and scoring metadata inside
+// the versioned envelope. The candidate-selection artifacts
+// (autoencoders, cluster assignments) are training-time state and are
+// not persisted — a loaded model can Score and Identify but not
+// resume training (training resumption is the checkpoint file's job).
 func (mo *Model) Save(w io.Writer) error {
 	if mo.clf == nil {
 		return errors.New("targad: cannot save an unfitted model")
@@ -46,14 +107,16 @@ func (mo *Model) Save(w io.Writer) error {
 	for strat, thr := range mo.idThreshold {
 		s.Thresholds[int(strat)] = thr
 	}
-	return gob.NewEncoder(w).Encode(&s)
+	return writeEnvelope(w, kindModel, modelFormatVersion, &s)
 }
 
 // Load reads a model previously written by Save and returns a Model
-// ready for Score, Probabilities, and Identify.
+// ready for Score, Probabilities, and Identify. A stream that is not a
+// TargAD save file fails with ErrBadFormat; a save from a newer format
+// version fails with ErrUnknownVersion.
 func Load(r io.Reader) (*Model, error) {
 	var s savedModel
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	if err := readEnvelope(r, kindModel, modelFormatVersion, &s); err != nil {
 		return nil, fmt.Errorf("targad: load: %w", err)
 	}
 	if s.M < 1 || s.K < 1 || s.Dim < 1 {

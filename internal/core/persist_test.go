@@ -2,16 +2,17 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	b := testBundle(t, 10)
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
-	want, err := m.Score(b.Test.X)
+	want, err := m.Score(context.Background(), b.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := loaded.Score(b.Test.X)
+	got, err := loaded.Score(context.Background(), b.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}

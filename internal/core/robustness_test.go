@@ -1,0 +1,298 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"targad/internal/faultinject"
+	"targad/internal/nn"
+	"targad/internal/parallel"
+)
+
+// Fault-tolerance suite: cooperative cancellation, checkpoint/resume
+// equivalence, numerical-health guards, and the typed-error surface of
+// the public API under injected faults.
+
+// fitRef trains an uninterrupted reference model and returns its test
+// scores.
+func fitRef(t *testing.T, seed int64) []float64 {
+	t.Helper()
+	b := testBundle(t, seed)
+	m := New(testConfig(), 1)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Score(context.Background(), b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointResumeBitwiseIdentical(t *testing.T) {
+	const seed = 40
+	want := fitRef(t, seed)
+
+	for _, workers := range []int{1, 2, 4} {
+		prev := parallel.Workers()
+		parallel.SetWorkers(workers)
+		t.Cleanup(func() { parallel.SetWorkers(prev) })
+
+		b := testBundle(t, seed)
+		path := filepath.Join(t.TempDir(), "fit.ckpt")
+		cfg := testConfig()
+		cfg.Checkpoint = CheckpointConfig{Path: path}
+
+		// Interrupt mid-classifier: cancel from the epoch hook a third
+		// of the way through training.
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg.EpochHook = func(epoch int, _ *Model) {
+			if epoch == cfg.ClfEpochs/3 {
+				cancel()
+			}
+		}
+		m := New(cfg, 1)
+		err := m.Fit(ctx, b.Train)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: interrupted Fit must wrap context.Canceled, got %v", workers, err)
+		}
+
+		// Rerun with the same seed, config, and data: it must resume
+		// from the checkpoint and land on the exact same model.
+		cfg.EpochHook = nil
+		m2 := New(cfg, 1)
+		if err := m2.Fit(context.Background(), b.Train); err != nil {
+			t.Fatalf("workers=%d: resumed Fit: %v", workers, err)
+		}
+		got, err := m2.Score(context.Background(), b.Test.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("workers=%d: score %d differs after resume: %v vs %v", workers, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestCheckpointResumeAfterAEStageInterrupt(t *testing.T) {
+	const seed = 41
+	want := fitRef(t, seed)
+
+	b := testBundle(t, seed)
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	cfg := testConfig()
+	cfg.Checkpoint = CheckpointConfig{Path: path}
+
+	// Fail the third checkpoint write (clustering + two autoencoder
+	// clusters land on disk, then training aborts with a typed error).
+	faultinject.ArmAfter(faultinject.CheckpointWrite, 2, 1)
+	t.Cleanup(faultinject.Reset)
+	m := New(cfg, 1)
+	err := m.Fit(context.Background(), b.Train)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("injected write failure must surface as *CheckpointError, got %v", err)
+	}
+	faultinject.Reset()
+
+	m2 := New(cfg, 1)
+	if err := m2.Fit(context.Background(), b.Train); err != nil {
+		t.Fatalf("resumed Fit: %v", err)
+	}
+	got, err := m2.Score(context.Background(), b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score %d differs after AE-stage resume: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestCheckpointRemovedAfterSuccess(t *testing.T) {
+	b := testBundle(t, 42)
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	cfg := testConfig()
+	cfg.Checkpoint = CheckpointConfig{Path: path}
+	m := New(cfg, 1)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint file must be removed after a successful Fit, stat: %v", err)
+	}
+}
+
+func TestCheckpointRejectsMismatchedRun(t *testing.T) {
+	b := testBundle(t, 43)
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	cfg := testConfig()
+	cfg.Checkpoint = CheckpointConfig{Path: path}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.EpochHook = func(epoch int, _ *Model) { cancel() }
+	m := New(cfg, 1)
+	if err := m.Fit(ctx, b.Train); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled, got %v", err)
+	}
+
+	// Same file, different seed: the stale checkpoint must be rejected
+	// loudly, not silently resumed into a different run.
+	cfg.EpochHook = nil
+	m2 := New(cfg, 2)
+	err := m2.Fit(context.Background(), b.Train)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) || cerr.Op != "validate" {
+		t.Fatalf("mismatched checkpoint must fail validation, got %v", err)
+	}
+}
+
+func TestFitCancellationIsPromptAndLeakFree(t *testing.T) {
+	b := testBundle(t, 44)
+
+	// Warm up the worker pool so its persistent goroutines do not count
+	// as leaks.
+	if err := New(testConfig(), 1).Fit(context.Background(), b.Train); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.EpochHook = func(epoch int, _ *Model) { cancel() }
+	m := New(cfg, 1)
+	err := m.Fit(ctx, b.Train)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fit must return an error wrapping ctx.Err(), got %v", err)
+	}
+	if len(m.EpochLosses) > 2 {
+		t.Fatalf("cancellation must take effect within one epoch, ran %d more", len(m.EpochLosses))
+	}
+
+	// Goroutine count must settle back to the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked by canceled Fit: %d > %d", n, base)
+	}
+}
+
+func TestClassifierNaNRetriesThenSucceeds(t *testing.T) {
+	b := testBundle(t, 45)
+	// Poison exactly one classifier batch: attempt 0 trips the
+	// non-finite guard, the LR-halving retry trains clean.
+	faultinject.Arm(faultinject.ClfBatchNaN, 1)
+	t.Cleanup(faultinject.Reset)
+	m := New(testConfig(), 1)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatalf("one poisoned batch must be absorbed by the retry, got %v", err)
+	}
+	if got := faultinject.Fired(faultinject.ClfBatchNaN); got != 1 {
+		t.Fatalf("fault fired %d times, want 1", got)
+	}
+	s, err := m.Score(context.Background(), b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if !nn.Finite(v) {
+			t.Fatalf("retrained model produced non-finite score %v", v)
+		}
+	}
+}
+
+func TestClassifierNaNExhaustsRetries(t *testing.T) {
+	b := testBundle(t, 46)
+	faultinject.Arm(faultinject.ClfBatchNaN, -1) // every attempt poisoned
+	t.Cleanup(faultinject.Reset)
+	m := New(testConfig(), 1)
+	err := m.Fit(context.Background(), b.Train)
+	var nerr *nn.NumericalError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("want *nn.NumericalError, got %v", err)
+	}
+	if nerr.Stage != "classifier" || nerr.Attempt != maxClfRetries {
+		t.Fatalf("diagnostic = %+v, want classifier stage at attempt %d", nerr, maxClfRetries)
+	}
+}
+
+func TestAutoencoderNaNSurfacesTyped(t *testing.T) {
+	b := testBundle(t, 47)
+	faultinject.Arm(faultinject.AEBatchNaN, -1)
+	t.Cleanup(faultinject.Reset)
+	m := New(testConfig(), 1)
+	err := m.Fit(context.Background(), b.Train)
+	var nerr *nn.NumericalError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("want *nn.NumericalError, got %v", err)
+	}
+	if nerr.Stage != "autoencoder" || nerr.Cluster < 0 {
+		t.Fatalf("diagnostic = %+v, want autoencoder stage with cluster index", nerr)
+	}
+}
+
+func TestAutoencoderNaNRetriesThenSucceeds(t *testing.T) {
+	b := testBundle(t, 48)
+	faultinject.Arm(faultinject.AEBatchNaN, 1)
+	t.Cleanup(faultinject.Reset)
+	m := New(testConfig(), 1)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatalf("one poisoned AE batch must be absorbed by the retry, got %v", err)
+	}
+}
+
+func TestWorkerPanicBecomesInternalError(t *testing.T) {
+	b := testBundle(t, 49)
+	m := New(testConfig(), 1)
+	if err := m.Fit(context.Background(), b.Train); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Workers() < 2 {
+		prev := parallel.Workers()
+		parallel.SetWorkers(2)
+		t.Cleanup(func() { parallel.SetWorkers(prev) })
+	}
+	faultinject.Arm(faultinject.WorkerPanic, 1)
+	t.Cleanup(faultinject.Reset)
+	_, err := m.Score(context.Background(), b.Test.X)
+	var ierr *InternalError
+	if !errors.As(err, &ierr) {
+		t.Fatalf("worker panic must surface as *InternalError at Score, got %v", err)
+	}
+	if ierr.Op != "score" || len(ierr.Stack) == 0 {
+		t.Fatalf("InternalError missing op/stack: %+v", ierr)
+	}
+	// The API stays usable afterwards.
+	faultinject.Reset()
+	if _, err := m.Score(context.Background(), b.Test.X); err != nil {
+		t.Fatalf("Score after recovered panic: %v", err)
+	}
+}
+
+func TestCheckpointWriteFailureIsTyped(t *testing.T) {
+	b := testBundle(t, 50)
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	cfg := testConfig()
+	cfg.Checkpoint = CheckpointConfig{Path: path}
+	faultinject.Arm(faultinject.CheckpointWrite, -1)
+	t.Cleanup(faultinject.Reset)
+	m := New(cfg, 1)
+	err := m.Fit(context.Background(), b.Train)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want *CheckpointError, got %v", err)
+	}
+	if cerr.Op != "write" || cerr.Path != path {
+		t.Fatalf("diagnostic = %+v, want write failure at %s", cerr, path)
+	}
+}

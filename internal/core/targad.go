@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"targad/internal/autoencoder"
 	"targad/internal/cluster"
 	"targad/internal/dataset"
+	"targad/internal/faultinject"
 	"targad/internal/mat"
 	"targad/internal/metrics"
 	"targad/internal/nn"
@@ -84,8 +86,15 @@ type Config struct {
 
 	// EpochHook, when non-nil, runs after every classifier epoch —
 	// the convergence analysis of Fig. 3 uses it to score the test
-	// set per epoch.
+	// set per epoch. On a checkpoint resume the hook fires only for
+	// the epochs actually re-run, not the fast-forwarded ones.
 	EpochHook func(epoch int, m *Model)
+
+	// Checkpoint, when Path is set, makes Fit crash-safe: progress is
+	// persisted as training advances and a rerun with the same seed,
+	// configuration, and data resumes bitwise-identically instead of
+	// starting over.
+	Checkpoint CheckpointConfig
 }
 
 // DefaultConfig returns the hyperparameters of Section IV-C.
@@ -197,7 +206,20 @@ func (mo *Model) ReconstructionErrors() []float64 { return mo.recErrors }
 // Fit runs Algorithm 1: cluster, train per-cluster autoencoders,
 // select candidates, then train the (m+k)-way classifier with the
 // composite loss.
-func (mo *Model) Fit(train *dataset.TrainSet) error {
+//
+// Cancellation is cooperative: ctx is checked at every clustering
+// iteration and training epoch, and a cancellation surfaces as an
+// error wrapping ctx.Err() within one epoch. Internal panics (shape
+// violations, worker crashes) are converted into a *InternalError
+// instead of taking the process down, and numerical failures that
+// survive the bounded LR-halving retries surface as a
+// *nn.NumericalError. With Config.Checkpoint set, progress persists
+// across interruptions and a rerun resumes bitwise-identically.
+func (mo *Model) Fit(ctx context.Context, train *dataset.TrainSet) (err error) {
+	defer recoverToError("fit", &err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := train.Validate(); err != nil {
 		return fmt.Errorf("targad: %w", err)
 	}
@@ -205,14 +227,30 @@ func (mo *Model) Fit(train *dataset.TrainSet) error {
 	mo.m = train.NumTargetTypes
 	mo.dim = train.Dim()
 
-	if err := mo.selectCandidates(train, r); err != nil {
+	var ck *checkpointer
+	if mo.cfg.Checkpoint.Path != "" {
+		ck, err = mo.newCheckpointer(train)
+		if err != nil {
+			return err
+		}
+	}
+	if err := mo.selectCandidates(ctx, train, r, ck); err != nil {
 		return err
 	}
-	return mo.trainClassifier(train, r)
+	if err := mo.trainClassifier(ctx, train, r, ck); err != nil {
+		return err
+	}
+	if ck != nil {
+		ck.finish()
+	}
+	return nil
 }
 
-// selectCandidates implements Algorithm 1 lines 1–7.
-func (mo *Model) selectCandidates(train *dataset.TrainSet, r *rng.RNG) error {
+// selectCandidates implements Algorithm 1 lines 1–7. When resuming
+// from a checkpoint it fast-forwards the completed stages, consuming
+// the parent RNG's split sequence exactly as the original run did so
+// every later stream is unchanged.
+func (mo *Model) selectCandidates(ctx context.Context, train *dataset.TrainSet, r *rng.RNG, ck *checkpointer) error {
 	x := train.Unlabeled
 	largeAt := mo.cfg.LargePoolThreshold
 	if largeAt <= 0 {
@@ -220,34 +258,53 @@ func (mo *Model) selectCandidates(train *dataset.TrainSet, r *rng.RNG) error {
 	}
 	large := x.Rows > largeAt
 
+	resumed := ck.haveClustering()
 	k := mo.cfg.K
 	if k == 0 {
-		elbowX := x
+		var subR *rng.RNG
 		if large {
-			// The elbow only needs the inertia curve's shape; a
-			// subsample preserves it at a fraction of the cost.
-			sub := r.Split("elbowsub").Sample(x.Rows, largeAt/2)
-			elbowX = nn.Gather(x, sub)
+			subR = r.Split("elbowsub")
 		}
-		var err error
-		k, _, err = cluster.ChooseK(elbowX, mo.cfg.KMin, mo.cfg.KMax, r.Split("elbow"))
-		if err != nil {
-			return fmt.Errorf("targad: elbow method: %w", err)
+		elbowR := r.Split("elbow")
+		if resumed {
+			k = ck.state.K
+		} else {
+			elbowX := x
+			if large {
+				// The elbow only needs the inertia curve's shape; a
+				// subsample preserves it at a fraction of the cost.
+				sub := subR.Sample(x.Rows, largeAt/2)
+				elbowX = nn.Gather(x, sub)
+			}
+			var err error
+			k, _, err = cluster.ChooseK(ctx, elbowX, mo.cfg.KMin, mo.cfg.KMax, elbowR)
+			if err != nil {
+				return fmt.Errorf("targad: elbow method: %w", err)
+			}
 		}
 	}
 	mo.k = k
 
+	kmR := r.Split("kmeans")
 	var res *cluster.Result
 	var err error
-	if large {
-		res, err = cluster.MiniBatchKMeans(x, cluster.MiniBatchConfig{K: k, BatchSize: 2048, Iters: 200}, r.Split("kmeans"))
-	} else {
-		res, err = cluster.KMeans(x, cluster.Config{K: k}, r.Split("kmeans"))
+	switch {
+	case resumed:
+		res = ck.clusterResult(mo.dim)
+	case large:
+		res, err = cluster.MiniBatchKMeans(ctx, x, cluster.MiniBatchConfig{K: k, BatchSize: 2048, Iters: 200}, kmR)
+	default:
+		res, err = cluster.KMeans(ctx, x, cluster.Config{K: k}, kmR)
 	}
 	if err != nil {
 		return fmt.Errorf("targad: clustering: %w", err)
 	}
 	mo.clusterRes = res
+	if ck != nil && !resumed {
+		if err := ck.saveClustering(res); err != nil {
+			return err
+		}
+	}
 
 	clusters := make([][]int, k)
 	for i, c := range res.Assignment {
@@ -261,8 +318,20 @@ func (mo *Model) selectCandidates(train *dataset.TrainSet, r *rng.RNG) error {
 		BatchSize: mo.cfg.AEBatch,
 		Epochs:    mo.cfg.AEEpochs,
 	}
-	aes, recErr, err := autoencoder.TrainPerCluster(x, train.Labeled, clusters, aeCfg, r.Split("aes"))
+	aesR := r.Split("aes")
+	var resume *autoencoder.ClusterResume
+	if ck != nil {
+		resume, err = ck.clusterResume(aeCfg)
+		if err != nil {
+			return err
+		}
+	}
+	aes, recErr, err := autoencoder.TrainPerCluster(ctx, x, train.Labeled, clusters, aeCfg, aesR, resume)
 	if err != nil {
+		var cerr *CheckpointError
+		if errors.As(err, &cerr) {
+			return err
+		}
 		return fmt.Errorf("targad: autoencoders: %w", err)
 	}
 	mo.aes = aes
@@ -286,8 +355,39 @@ func (mo *Model) selectCandidates(train *dataset.TrainSet, r *rng.RNG) error {
 	return nil
 }
 
-// trainClassifier implements Algorithm 1 lines 8–17.
-func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
+// maxClfRetries bounds the LR-halving/re-seed retries the classifier
+// stage gets after a numerical failure before the *nn.NumericalError
+// is surfaced to the caller.
+const maxClfRetries = 2
+
+// trainClassifier wraps the classifier stage in the bounded
+// numerical-retry loop. Attempt 0 consumes the parent RNG exactly as
+// the unguarded code did, so healthy runs are bitwise unchanged;
+// each retry derives a fresh deterministic stream and halves the
+// learning rate.
+func (mo *Model) trainClassifier(ctx context.Context, train *dataset.TrainSet, r *rng.RNG, ck *checkpointer) error {
+	for attempt := 0; ; attempt++ {
+		ar := r
+		lr := mo.cfg.ClfLR
+		if attempt > 0 {
+			ar = r.SplitN("clfretry", attempt)
+			lr = mo.cfg.ClfLR / float64(uint(1)<<uint(attempt))
+			mo.EpochLosses = nil
+			mo.weightHist = nil
+			ck.resetClassifier(attempt)
+		}
+		err := mo.trainClassifierAttempt(ctx, train, ar, lr, attempt, ck)
+		var nerr *nn.NumericalError
+		if errors.As(err, &nerr) && attempt < maxClfRetries {
+			continue
+		}
+		return err
+	}
+}
+
+// trainClassifierAttempt implements Algorithm 1 lines 8–17 for one
+// numerical-retry attempt.
+func (mo *Model) trainClassifierAttempt(ctx context.Context, train *dataset.TrainSet, r *rng.RNG, lr float64, attempt int, ck *checkpointer) error {
 	numClasses := mo.m + mo.k
 	hidden := mo.cfg.ClfHidden
 	if len(hidden) == 0 {
@@ -332,7 +432,7 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 	reFracN := float64(xn.Rows) / total
 	reFracL := float64(xa.Rows) / total
 
-	opt := nn.NewAdam(mo.cfg.ClfLR)
+	opt := nn.NewAdam(lr)
 	normBat := nn.NewBatcher(xn.Rows, mo.cfg.ClfBatch, r.Split("normbat"))
 	labBat := nn.NewBatcher(xa.Rows, min(mo.cfg.ClfBatch, xa.Rows), r.Split("labbat"))
 	candBat := nn.NewBatcher(cand.Rows, mo.cfg.ClfBatch, r.Split("candbat"))
@@ -343,6 +443,14 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 
 	bestVal := -1.0
 	var bestParams [][]float64
+	resumeEpochs := ck.classifierResume(attempt)
+	if resumeEpochs > 0 {
+		var rerr error
+		bestVal, bestParams, rerr = ck.restoreClassifier(mo, opt)
+		if rerr != nil {
+			return rerr
+		}
+	}
 	// Best-epoch selection needs a validation AUPRC that is more than
 	// noise; with very few positive instances (e.g. the SQB split's
 	// handful of validation targets) a single lucky rank dominates, so
@@ -358,7 +466,33 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 		useValidation = pos >= 5
 	}
 
+	useOE := mo.cfg.UseOE && mo.cfg.Lambda1 != 0 && cand.Rows > 0
+	var firstLoss float64
+	haveFirst := false
+	if resumeEpochs > 0 && len(mo.EpochLosses) > 0 {
+		firstLoss, haveFirst = mo.EpochLosses[0], true
+	}
+
 	for epoch := 0; epoch < mo.cfg.ClfEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("targad: classifier canceled at epoch %d: %w", epoch, err)
+		}
+		if epoch < resumeEpochs {
+			// Ghost epoch: the checkpoint already holds this epoch's
+			// result, so consume exactly the random draws the original
+			// epoch consumed — the three batchers' shuffles — and skip
+			// the compute. Every stream is left in the same position an
+			// uninterrupted run would have reached.
+			nb := normBat.BatchesPerEpoch()
+			for b := 0; b < nb; b++ {
+				normBat.Next()
+				labBat.Next()
+				if useOE {
+					candBat.Next()
+				}
+			}
+			continue
+		}
 		if epoch > 0 && !mo.cfg.FreezeWeights {
 			// Eq. (4): re-derive weights from the classifier's
 			// current max predicted probabilities over D_U^A.
@@ -385,6 +519,9 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 			// of labeled anomalies almost none.
 			nidx := normBat.Next()
 			ws.xb = nn.GatherInto(ws.xb, xn, nidx)
+			if faultinject.Fire(faultinject.ClfBatchNaN) {
+				ws.xb.Data[0] = math.NaN()
+			}
 			ws.yb = nn.GatherInto(ws.yb, yn, nidx)
 			loss += mo.superviseStep(ws.xb, ws.yb, reFracN, &ws)
 
@@ -397,7 +534,7 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 			loss += mo.superviseStep(ws.xb, ws.yb, reFracL, &ws)
 
 			// L_OE over the non-target anomaly candidates.
-			if mo.cfg.UseOE && mo.cfg.Lambda1 != 0 && cand.Rows > 0 {
+			if useOE {
 				cidx := candBat.Next()
 				ws.xb = nn.GatherInto(ws.xb, cand, cidx)
 				ws.yb = nn.GatherInto(ws.yb, candY, cidx)
@@ -412,7 +549,25 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 			opt.Step(mo.clf.Params())
 			epochLoss += loss
 		}
-		mo.EpochLosses = append(mo.EpochLosses, epochLoss/float64(nb))
+		mean := epochLoss / float64(nb)
+		mo.EpochLosses = append(mo.EpochLosses, mean)
+		// Numerical-health sentinels: a poisoned batch or runaway
+		// optimization fails loudly (and triggers the bounded retry in
+		// trainClassifier) rather than checkpointing or returning a NaN
+		// model.
+		if !nn.Finite(mean) || (haveFirst && nn.Diverged(mean, firstLoss)) {
+			detail := "non-finite epoch loss"
+			if nn.Finite(mean) {
+				detail = "diverging epoch loss"
+			}
+			return &nn.NumericalError{Stage: "classifier", Cluster: -1, Epoch: epoch, Attempt: attempt, Detail: detail, Value: mean}
+		}
+		if !haveFirst {
+			firstLoss, haveFirst = mean, true
+		}
+		if name := nn.NonFiniteParam(mo.clf.Params()); name != "" {
+			return &nn.NumericalError{Stage: "classifier", Cluster: -1, Epoch: epoch, Attempt: attempt, Detail: "non-finite parameter " + name, Value: mean}
+		}
 		if useValidation {
 			if v := mo.EvalAUPRC(mo.cfg.Validation); v > bestVal {
 				bestVal = v
@@ -421,6 +576,11 @@ func (mo *Model) trainClassifier(train *dataset.TrainSet, r *rng.RNG) error {
 		}
 		if mo.cfg.EpochHook != nil {
 			mo.cfg.EpochHook(epoch, mo)
+		}
+		if ck != nil && (epoch+1)%ck.every == 0 {
+			if err := ck.saveClassifier(mo, opt, attempt, epoch+1, bestVal, bestParams); err != nil {
+				return err
+			}
 		}
 	}
 	if bestParams != nil {
@@ -597,8 +757,15 @@ func (mo *Model) Probabilities(x *mat.Matrix) (*mat.Matrix, error) {
 // S^tar(x) = max_{j ∈ [1,m]} p_j(x). Batch inference is parallel end
 // to end — the classifier forward pass, the row softmax, and this
 // reduction all split the batch across the worker pool — and the
-// scores are bitwise identical for any worker count.
-func (mo *Model) Score(x *mat.Matrix) ([]float64, error) {
+// scores are bitwise identical for any worker count. Like Fit, it
+// converts internal panics into a *InternalError at the boundary.
+func (mo *Model) Score(ctx context.Context, x *mat.Matrix) (scores []float64, err error) {
+	defer recoverToError("score", &err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	probs, err := mo.Probabilities(x)
 	if err != nil {
 		return nil, err
@@ -615,7 +782,7 @@ func (mo *Model) Score(x *mat.Matrix) ([]float64, error) {
 // EvalAUPRC is a convenience used by convergence hooks: AUPRC of the
 // model on an evaluation set, 0 if degenerate.
 func (mo *Model) EvalAUPRC(e *dataset.EvalSet) float64 {
-	s, err := mo.Score(e.X)
+	s, err := mo.Score(context.Background(), e.X)
 	if err != nil {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -41,14 +42,14 @@ func testBundle(t *testing.T, seed int64) *dataset.Bundle {
 func TestFitValidatesInput(t *testing.T) {
 	m := New(testConfig(), 1)
 	bad := &dataset.TrainSet{}
-	if err := m.Fit(bad); err == nil {
+	if err := m.Fit(context.Background(), bad); err == nil {
 		t.Fatal("invalid train set must error")
 	}
 }
 
 func TestUnfittedModelErrors(t *testing.T) {
 	m := New(testConfig(), 1)
-	if _, err := m.Score(mat.New(1, 3)); err == nil {
+	if _, err := m.Score(context.Background(), mat.New(1, 3)); err == nil {
 		t.Fatal("scoring an unfitted model must error")
 	}
 	if _, err := m.Logits(mat.New(1, 3)); err == nil {
@@ -59,7 +60,7 @@ func TestUnfittedModelErrors(t *testing.T) {
 func TestFitEndToEnd(t *testing.T) {
 	b := testBundle(t, 1)
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	if m.NumTargetTypes() != 2 {
@@ -102,7 +103,7 @@ func TestFitEndToEnd(t *testing.T) {
 		}
 	}
 	// Eq. (9): scores are max over the first m probabilities.
-	scores, err := m.Score(b.Test.X)
+	scores, err := m.Score(context.Background(), b.Test.X)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,16 +118,16 @@ func TestFitEndToEnd(t *testing.T) {
 func TestFitDeterministicBySeed(t *testing.T) {
 	b := testBundle(t, 2)
 	m1 := New(testConfig(), 7)
-	if err := m1.Fit(b.Train); err != nil {
+	if err := m1.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	b2 := testBundle(t, 2)
 	m2 := New(testConfig(), 7)
-	if err := m2.Fit(b2.Train); err != nil {
+	if err := m2.Fit(context.Background(), b2.Train); err != nil {
 		t.Fatal(err)
 	}
-	s1, _ := m1.Score(b.Test.X)
-	s2, _ := m2.Score(b2.Test.X)
+	s1, _ := m1.Score(context.Background(), b.Test.X)
+	s2, _ := m2.Score(context.Background(), b2.Test.X)
 	for i := range s1 {
 		if s1[i] != s2[i] {
 			t.Fatal("same seed + data must yield identical scores")
@@ -141,7 +142,7 @@ func TestElbowSelectsK(t *testing.T) {
 	cfg.KMin = 2
 	cfg.KMax = 5
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	if k := m.NumNormalClusters(); k < 2 || k > 5 {
@@ -154,7 +155,7 @@ func TestAlphaTooLargeErrors(t *testing.T) {
 	cfg := testConfig()
 	cfg.Alpha = 1.5
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err == nil {
+	if err := m.Fit(context.Background(), b.Train); err == nil {
 		t.Fatal("alpha selecting everything must error")
 	}
 }
@@ -173,10 +174,10 @@ func TestAblationSwitches(t *testing.T) {
 		cfg.UseOE = tc.useOE
 		cfg.UseRE = tc.useRE
 		m := New(cfg, 1)
-		if err := m.Fit(b.Train); err != nil {
+		if err := m.Fit(context.Background(), b.Train); err != nil {
 			t.Fatalf("variant %s: %v", tc.name, err)
 		}
-		if _, err := m.Score(b.Test.X); err != nil {
+		if _, err := m.Score(context.Background(), b.Test.X); err != nil {
 			t.Fatalf("variant %s score: %v", tc.name, err)
 		}
 	}
@@ -188,7 +189,7 @@ func TestFreezeWeightsKeepsInitialWeights(t *testing.T) {
 	cfg.RecordWeights = true
 	cfg.FreezeWeights = true
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	hist := m.WeightTrajectory()
@@ -220,7 +221,7 @@ func TestWeightUpdatingLiftsNonTargets(t *testing.T) {
 	cfg.ClfEpochs = 20
 	cfg.RecordWeights = true
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	final := m.FinalWeights()
@@ -256,7 +257,7 @@ func TestWeightRecording(t *testing.T) {
 	cfg := testConfig()
 	cfg.RecordWeights = true
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	hist := m.WeightTrajectory()
@@ -284,7 +285,7 @@ func TestEpochHookAndLosses(t *testing.T) {
 	var hooks int
 	cfg.EpochHook = func(epoch int, m *Model) { hooks++ }
 	m := New(cfg, 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	if hooks != cfg.ClfEpochs {
@@ -305,10 +306,10 @@ func TestValidationSelection(t *testing.T) {
 	cfg := testConfig()
 	m := New(cfg, 1)
 	m.SetValidation(b.Val)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Score(b.Test.X); err != nil {
+	if _, err := m.Score(context.Background(), b.Test.X); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -316,7 +317,7 @@ func TestValidationSelection(t *testing.T) {
 func TestIdentifyReturnsValidKinds(t *testing.T) {
 	b := testBundle(t, 9)
 	m := New(testConfig(), 1)
-	if err := m.Fit(b.Train); err != nil {
+	if err := m.Fit(context.Background(), b.Train); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range OODStrategies() {

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV drives the CSV loader with arbitrary byte streams: it
+// must never panic, and any stream it accepts must describe a
+// consistent matrix that survives a write/read round trip.
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"a,b,c\n",                          // header only
+		"1,2,3\n4,5,6\n",                   // plain numeric
+		"x,y\n1,2\n3,4\n",                  // header + data
+		"1,2\n3\n",                         // ragged
+		"1,two,3\n",                        // non-numeric field
+		"1e308,-1e308,5e-324\n",            // extreme magnitudes
+		"NaN,Inf,-Inf\n",                   // non-finite literals
+		"\"1\",\" 2\",\"3\"\n",             // quoted fields
+		"1,2,3\r\n4,5,6\r\n",               // CRLF
+		"\"unterminated,1,2\n",             // broken quoting
+		",,\n,,\n",                         // empty fields
+		"0x10,1_000,+5\n",                  // Go-flavored numerals
+		strings.Repeat("9", 4096) + ",1\n", // huge field
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), false)
+		f.Add([]byte(s), true)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, hasHeader bool) {
+		m, header, err := LoadCSV(bytes.NewReader(data), hasHeader)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil matrix with nil error")
+		}
+		if m.Rows < 0 || m.Cols < 0 || len(m.Data) != m.Rows*m.Cols {
+			t.Fatalf("inconsistent matrix: %dx%d with %d values", m.Rows, m.Cols, len(m.Data))
+		}
+		if !hasHeader && header != nil {
+			t.Fatal("header returned without hasHeader")
+		}
+		if hasHeader && m.Rows > 0 && len(header) != m.Cols {
+			t.Fatalf("header has %d fields, matrix %d cols", len(header), m.Cols)
+		}
+
+		// Accepted input must survive a write/read round trip bit-for-bit
+		// (NaN compared as NaN).
+		if m.Rows == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, m, nil); err != nil {
+			t.Fatalf("WriteCSV on accepted matrix: %v", err)
+		}
+		m2, _, err := LoadCSV(&buf, false)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if m2.Rows != m.Rows || m2.Cols != m.Cols {
+			t.Fatalf("round trip resized %dx%d -> %dx%d", m.Rows, m.Cols, m2.Rows, m2.Cols)
+		}
+		for i := range m.Data {
+			a, b := m.Data[i], m2.Data[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("value %d drifted in round trip: %v vs %v", i, a, b)
+			}
+		}
+	})
+}

@@ -4,6 +4,8 @@
 package detector
 
 import (
+	"context"
+
 	"targad/internal/dataset"
 	"targad/internal/mat"
 )
@@ -18,10 +20,14 @@ type Detector interface {
 	Name() string
 	// Fit trains the detector. Implementations must not mutate train
 	// and must never read TrainSet.UnlabeledKind (ground truth is for
-	// the harness only).
-	Fit(train *dataset.TrainSet) error
-	// Score assigns a target-anomaly score to every row of x.
-	Score(x *mat.Matrix) ([]float64, error)
+	// the harness only). Cancellation is cooperative: implementations
+	// check ctx at epoch (or equivalent) boundaries and return an
+	// error wrapping ctx.Err() promptly after it fires. A nil ctx is
+	// treated as context.Background().
+	Fit(ctx context.Context, train *dataset.TrainSet) error
+	// Score assigns a target-anomaly score to every row of x,
+	// honoring ctx the same way Fit does.
+	Score(ctx context.Context, x *mat.Matrix) ([]float64, error)
 }
 
 // Factory constructs a fresh detector for one run; seed controls all

@@ -36,6 +36,12 @@ type RunConfig struct {
 	// SemiSupervisedModels to the named detectors (TargAD is always
 	// retained so comparative experiments keep their subject).
 	ModelFilter []string
+
+	// StateDir, when non-empty, makes table experiments resumable:
+	// each completed cell is recorded in a JSON state file under this
+	// directory, and a rerun with the same configuration skips the
+	// cells already on record instead of recomputing them.
+	StateDir string
 }
 
 // Fast returns the default harness configuration: ~1/20 of paper

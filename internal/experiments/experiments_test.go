@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -96,7 +97,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable3Ablation(t *testing.T) {
-	res, err := Table3(microConfig(), nil)
+	res, err := Table3(context.Background(), microConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestTable3Ablation(t *testing.T) {
 }
 
 func TestTable4OOD(t *testing.T) {
-	res, err := Table4(microConfig(), nil)
+	res, err := Table4(context.Background(), microConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestTable4OOD(t *testing.T) {
 }
 
 func TestFig5Weights(t *testing.T) {
-	res, err := Fig5(microConfig(), nil)
+	res, err := Fig5(context.Background(), microConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFig5Weights(t *testing.T) {
 
 func TestFig7Eta(t *testing.T) {
 	rc := microConfig()
-	res, err := Fig7Eta(rc, nil)
+	res, err := Fig7Eta(context.Background(), rc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFig7Eta(t *testing.T) {
 
 func TestFig3Convergence(t *testing.T) {
 	rc := microConfig()
-	res, err := Fig3(rc, nil)
+	res, err := Fig3(context.Background(), rc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestFig4aSettings(t *testing.T) {
 	// the full Fig4a is exercised by the benchmark harness.
 	rc := microConfig()
 	rc.ModelFilter = []string{"DevNet"} // TargAD is always retained
-	res, err := Fig4a(rc, nil)
+	res, err := Fig4a(context.Background(), rc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestFig4aSettings(t *testing.T) {
 func TestTable2TrimmedRoster(t *testing.T) {
 	rc := microConfig()
 	rc.ModelFilter = []string{"iForest"}
-	res, err := Table2(rc, nil)
+	res, err := Table2(context.Background(), rc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestTable2TrimmedRoster(t *testing.T) {
 
 func TestFig6Matrix(t *testing.T) {
 	rc := microConfig()
-	res, err := Fig6(rc, nil)
+	res, err := Fig6(context.Background(), rc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestFig6Matrix(t *testing.T) {
 }
 
 func TestWeightAblation(t *testing.T) {
-	res, err := WeightAblation(microConfig(), nil)
+	res, err := WeightAblation(context.Background(), microConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ type Fig3Result struct {
 }
 
 // Fig3 runs the convergence experiment on UNSW-NB15.
-func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
+func Fig3(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 	p := synth.UNSWNB15()
 	b, err := rc.generateFor(p, 0, nil)
 	if err != nil {
@@ -46,14 +47,14 @@ func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 	// TargAD with the per-epoch hook.
 	cfg := rc.targadConfig()
 	cfg.EpochHook = func(epoch int, m *core.Model) {
-		s, err := m.Score(b.Test.X)
+		s, err := m.Score(ctx, b.Test.X)
 		if err != nil {
 			return
 		}
 		res.Series["TargAD"] = append(res.Series["TargAD"], auprcOf(s))
 	}
 	model := core.New(cfg, rc.Seed)
-	if err := model.Fit(b.Train); err != nil {
+	if err := model.Fit(ctx, b.Train); err != nil {
 		return nil, fmt.Errorf("fig3: targad: %w", err)
 	}
 	res.Loss = model.EpochLosses
@@ -78,9 +79,9 @@ func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 		cfg := devnet.DefaultConfig(rc.Seed)
 		cfg.Epochs = rc.ClfEpochs
 		var m *devnet.DevNet
-		cfg.EpochHook = func(int) { res.Series["DevNet"] = append(res.Series["DevNet"], scoreAUPRC(m, b, auprcOf)) }
+		cfg.EpochHook = func(int) { res.Series["DevNet"] = append(res.Series["DevNet"], scoreAUPRC(ctx, m, b, auprcOf)) }
 		m = devnet.New(cfg)
-		return m.Fit(b.Train)
+		return m.Fit(ctx, b.Train)
 	}); err != nil {
 		return nil, err
 	}
@@ -88,9 +89,9 @@ func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 		cfg := deepsad.DefaultConfig(rc.Seed)
 		cfg.Epochs = rc.ClfEpochs
 		var m *deepsad.DeepSAD
-		cfg.EpochHook = func(int) { res.Series["DeepSAD"] = append(res.Series["DeepSAD"], scoreAUPRC(m, b, auprcOf)) }
+		cfg.EpochHook = func(int) { res.Series["DeepSAD"] = append(res.Series["DeepSAD"], scoreAUPRC(ctx, m, b, auprcOf)) }
 		m = deepsad.New(cfg)
-		return m.Fit(b.Train)
+		return m.Fit(ctx, b.Train)
 	}); err != nil {
 		return nil, err
 	}
@@ -98,9 +99,9 @@ func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 		cfg := feawad.DefaultConfig(rc.Seed)
 		cfg.Epochs = rc.ClfEpochs
 		var m *feawad.FEAWAD
-		cfg.EpochHook = func(int) { res.Series["FEAWAD"] = append(res.Series["FEAWAD"], scoreAUPRC(m, b, auprcOf)) }
+		cfg.EpochHook = func(int) { res.Series["FEAWAD"] = append(res.Series["FEAWAD"], scoreAUPRC(ctx, m, b, auprcOf)) }
 		m = feawad.New(cfg)
-		return m.Fit(b.Train)
+		return m.Fit(ctx, b.Train)
 	}); err != nil {
 		return nil, err
 	}
@@ -110,11 +111,11 @@ func Fig3(rc RunConfig, progress io.Writer) (*Fig3Result, error) {
 // midScorer is the subset of detector.Detector Fig. 3 needs while a
 // model is still training.
 type midScorer interface {
-	Score(x *mat.Matrix) ([]float64, error)
+	Score(ctx context.Context, x *mat.Matrix) ([]float64, error)
 }
 
-func scoreAUPRC(model midScorer, b *dataset.Bundle, auprcOf func([]float64) float64) float64 {
-	s, err := model.Score(b.Test.X)
+func scoreAUPRC(ctx context.Context, model midScorer, b *dataset.Bundle, auprcOf func([]float64) float64) float64 {
+	s, err := model.Score(ctx, b.Test.X)
 	if err != nil {
 		return 0
 	}

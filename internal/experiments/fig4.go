@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,7 +22,11 @@ type Fig4Result struct {
 // fig4Sweep evaluates the semi-supervised model roster across
 // settings, where mutate(i) adapts the generation options for
 // setting i.
-func fig4Sweep(rc RunConfig, title string, settings []string, mutate func(i int, o *synth.Options), progress io.Writer) (*Fig4Result, error) {
+func fig4Sweep(ctx context.Context, rc RunConfig, title string, settings []string, mutate func(i int, o *synth.Options), progress io.Writer) (*Fig4Result, error) {
+	st, err := rc.state(title)
+	if err != nil {
+		return nil, err
+	}
 	p := synth.UNSWNB15()
 	models := SemiSupervisedModels(rc)
 	res := &Fig4Result{Title: title, Settings: settings}
@@ -33,7 +38,8 @@ func fig4Sweep(rc RunConfig, title string, settings []string, mutate func(i int,
 		res.AUPRC[mi] = make([]Cell, len(settings))
 		for si := range settings {
 			si := si
-			prc, _, err := repeatEval(rc, m.New, func(run int) (*dataset.Bundle, error) {
+			key := fmt.Sprintf("%s/%s/%s", title, m.Name, settings[si])
+			prc, _, _, err := cachedEval(ctx, rc, st, key, m.New, func(run int) (*dataset.Bundle, error) {
 				return rc.generateFor(p, run, func(o *synth.Options) { mutate(si, o) })
 			})
 			if err != nil {
@@ -51,7 +57,7 @@ func fig4Sweep(rc RunConfig, title string, settings []string, mutate func(i int,
 // Fig4a varies how many of UNSW-NB15's four non-target types appear
 // in training; the testing data always contains all four, so the
 // withheld types are novel at test time (0–3 new types).
-func Fig4a(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+func Fig4a(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 	// The paper's four settings: 4 classes (0 new), 3 (Fuzzers,
 	// Analysis, Reconnaissance), 2 (Analysis, Reconnaissance),
 	// 1 (Reconnaissance).
@@ -62,7 +68,7 @@ func Fig4a(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 		{"Reconnaissance"},
 	}
 	settings := []string{"0 new types", "1 new type", "2 new types", "3 new types"}
-	return fig4Sweep(rc, "fig4a", settings, func(i int, o *synth.Options) {
+	return fig4Sweep(ctx, rc, "fig4a", settings, func(i int, o *synth.Options) {
 		o.TrainNonTargetTypes = trainSets[i]
 	}, progress)
 }
@@ -70,13 +76,13 @@ func Fig4a(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 // Fig4b varies the number m of target anomaly classes from 1 to 6
 // over UNSW-NB15's seven anomaly types; the remaining types are
 // non-target.
-func Fig4b(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+func Fig4b(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 	order := []string{"Generic", "Backdoor", "DoS", "Fuzzers", "Analysis", "Exploits", "Reconnaissance"}
 	settings := make([]string, 6)
 	for i := range settings {
 		settings[i] = fmt.Sprintf("m=%d", i+1)
 	}
-	return fig4Sweep(rc, "fig4b", settings, func(i int, o *synth.Options) {
+	return fig4Sweep(ctx, rc, "fig4b", settings, func(i int, o *synth.Options) {
 		o.TargetTypes = order[:i+1]
 	}, progress)
 }
@@ -84,7 +90,7 @@ func Fig4b(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 // Fig4c varies the number of labeled target anomalies per type
 // (paper: {20, 60, 100}), at 5% contamination. The counts scale with
 // rc.Scale so the labeled/unlabeled ratio matches the paper's.
-func Fig4c(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+func Fig4c(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 	counts := []int{20, 60, 100}
 	settings := make([]string, len(counts))
 	scaledCounts := make([]int, len(counts))
@@ -96,20 +102,20 @@ func Fig4c(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 		}
 		scaledCounts[i] = sc
 	}
-	return fig4Sweep(rc, "fig4c", settings, func(i int, o *synth.Options) {
+	return fig4Sweep(ctx, rc, "fig4c", settings, func(i int, o *synth.Options) {
 		o.LabeledPerType = scaledCounts[i]
 	}, progress)
 }
 
 // Fig4d varies the anomaly contamination rate of the unlabeled pool
 // (paper: {3, 5, 7, 9}%).
-func Fig4d(rc RunConfig, progress io.Writer) (*Fig4Result, error) {
+func Fig4d(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig4Result, error) {
 	rates := []float64{0.03, 0.05, 0.07, 0.09}
 	settings := make([]string, len(rates))
 	for i, r := range rates {
 		settings[i] = fmt.Sprintf("%.0f%%", r*100)
 	}
-	return fig4Sweep(rc, "fig4d", settings, func(i int, o *synth.Options) {
+	return fig4Sweep(ctx, rc, "fig4d", settings, func(i int, o *synth.Options) {
 		o.Contamination = rates[i]
 	}, progress)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ type Fig5Result struct {
 
 // Fig5 trains TargAD with weight recording on UNSW-NB15 and maps the
 // candidate weights onto the hidden ground-truth kinds.
-func Fig5(rc RunConfig, progress io.Writer) (*Fig5Result, error) {
+func Fig5(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig5Result, error) {
 	p := synth.UNSWNB15()
 	b, err := rc.generateFor(p, 0, nil)
 	if err != nil {
@@ -37,7 +38,7 @@ func Fig5(rc RunConfig, progress io.Writer) (*Fig5Result, error) {
 	cfg := rc.targadConfig()
 	cfg.RecordWeights = true
 	model := core.New(cfg, rc.Seed)
-	if err := model.Fit(b.Train); err != nil {
+	if err := model.Fit(ctx, b.Train); err != nil {
 		return nil, fmt.Errorf("fig5: fit: %w", err)
 	}
 

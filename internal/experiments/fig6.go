@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,7 @@ type Fig6Result struct {
 
 // Fig6 sweeps α ∈ {1,5,10,15,20}% against contamination ∈
 // {1,5,10,15}% on UNSW-NB15.
-func Fig6(rc RunConfig, progress io.Writer) (*Fig6Result, error) {
+func Fig6(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig6Result, error) {
 	p := synth.UNSWNB15()
 	res := &Fig6Result{
 		Alphas:         []float64{0.01, 0.05, 0.10, 0.15, 0.20},
@@ -41,7 +42,7 @@ func Fig6(rc RunConfig, progress io.Writer) (*Fig6Result, error) {
 				cfg.Alpha = alpha
 				return core.New(cfg, seed)
 			}
-			prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) {
+			prc, roc, err := repeatEval(ctx, rc, factory, func(run int) (*dataset.Bundle, error) {
 				return rc.generateFor(p, run, func(o *synth.Options) { o.Contamination = contam })
 			})
 			if err != nil {

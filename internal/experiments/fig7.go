@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ type Fig7EtaResult struct {
 }
 
 // Fig7Eta sweeps η ∈ {0, 0.01, 0.1, 1, 10, 100} on UNSW-NB15.
-func Fig7Eta(rc RunConfig, progress io.Writer) (*Fig7EtaResult, error) {
+func Fig7Eta(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig7EtaResult, error) {
 	p := synth.UNSWNB15()
 	res := &Fig7EtaResult{Etas: []float64{0, 0.01, 0.1, 1, 10, 100}}
 	for _, eta := range res.Etas {
@@ -29,7 +30,7 @@ func Fig7Eta(rc RunConfig, progress io.Writer) (*Fig7EtaResult, error) {
 			cfg.Eta = eta
 			return core.New(cfg, seed)
 		}
-		prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) {
+		prc, roc, err := repeatEval(ctx, rc, factory, func(run int) (*dataset.Bundle, error) {
 			return rc.generateFor(p, run, nil)
 		})
 		if err != nil {
@@ -65,7 +66,7 @@ type Fig7LambdaResult struct {
 }
 
 // Fig7Lambda sweeps λ₁, λ₂ ∈ {0.01, 0.1, 1, 2, 5, 10} with η = 1.
-func Fig7Lambda(rc RunConfig, progress io.Writer) (*Fig7LambdaResult, error) {
+func Fig7Lambda(ctx context.Context, rc RunConfig, progress io.Writer) (*Fig7LambdaResult, error) {
 	p := synth.UNSWNB15()
 	res := &Fig7LambdaResult{Lambdas: []float64{0.01, 0.1, 1, 2, 5, 10}}
 	res.AUPRC = make([][]Cell, len(res.Lambdas))
@@ -81,7 +82,7 @@ func Fig7Lambda(rc RunConfig, progress io.Writer) (*Fig7LambdaResult, error) {
 				cfg.Lambda2 = l2
 				return core.New(cfg, seed)
 			}
-			prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) {
+			prc, roc, err := repeatEval(ctx, rc, factory, func(run int) (*dataset.Bundle, error) {
 				return rc.generateFor(p, run, nil)
 			})
 			if err != nil {

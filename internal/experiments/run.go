@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"targad/internal/dataset"
@@ -9,25 +11,50 @@ import (
 	"targad/internal/metrics"
 )
 
-// Cell is one mean ± std aggregate of a results table.
+// Cell is one mean ± std aggregate of a results table. A cell whose
+// evaluation failed carries the error text instead of numbers: one
+// broken baseline degrades to an "error" entry in its row while the
+// rest of the table completes.
 type Cell struct {
 	Mean, Std float64
+	// Err is the failure description when the cell's detector errored
+	// or panicked; empty for a successful cell.
+	Err string `json:",omitempty"`
 }
 
-// String renders the cell like the paper's tables.
-func (c Cell) String() string { return fmt.Sprintf("%.3f±%.3f", c.Mean, c.Std) }
+// Failed reports whether the cell records a failure instead of a
+// result.
+func (c Cell) Failed() bool { return c.Err != "" }
+
+// ErrCell builds the error cell recorded for a failed evaluation.
+func ErrCell(err error) Cell { return Cell{Err: err.Error()} }
+
+// String renders the cell like the paper's tables ("error" for a
+// failed cell — the full reason is in Cell.Err).
+func (c Cell) String() string {
+	if c.Failed() {
+		return "error"
+	}
+	return fmt.Sprintf("%.3f±%.3f", c.Mean, c.Std)
+}
 
 // evalDetector fits a fresh detector and returns its test AUPRC and
-// AUROC.
-func evalDetector(f detector.Factory, seed int64, b *dataset.Bundle) (auprc, auroc float64, err error) {
+// AUROC. A panicking detector is recovered into an error here, so one
+// misbehaving baseline cannot take down a whole table run.
+func evalDetector(ctx context.Context, f detector.Factory, seed int64, b *dataset.Bundle) (auprc, auroc float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("detector panicked: %v", r)
+		}
+	}()
 	det := f(seed)
 	if va, ok := det.(detector.ValidationAware); ok && b.Val != nil {
 		va.SetValidation(b.Val)
 	}
-	if err := det.Fit(b.Train); err != nil {
+	if err := det.Fit(ctx, b.Train); err != nil {
 		return 0, 0, fmt.Errorf("%s: fit: %w", det.Name(), err)
 	}
-	scores, err := det.Score(b.Test.X)
+	scores, err := det.Score(ctx, b.Test.X)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s: score: %w", det.Name(), err)
 	}
@@ -45,24 +72,58 @@ func evalDetector(f detector.Factory, seed int64, b *dataset.Bundle) (auprc, aur
 
 // repeatEval runs evalDetector rc.Runs times over freshly generated
 // bundles (generator gen receives the run index) and aggregates.
-func repeatEval(rc RunConfig, f detector.Factory, gen func(run int) (*dataset.Bundle, error)) (Cell, Cell, error) {
+//
+// Failure model: a detector error or panic produces error cells and a
+// nil error — the caller records them and the rest of its table keeps
+// going. Only harness-level failures (dataset generation) and context
+// cancellation abort the run, since every remaining cell would fail
+// the same way.
+func repeatEval(ctx context.Context, rc RunConfig, f detector.Factory, gen func(run int) (*dataset.Bundle, error)) (Cell, Cell, error) {
 	prcs := make([]float64, 0, rc.Runs)
 	rocs := make([]float64, 0, rc.Runs)
 	for run := 0; run < rc.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Cell{}, Cell{}, err
+		}
 		b, err := gen(run)
 		if err != nil {
 			return Cell{}, Cell{}, err
 		}
-		prc, roc, err := evalDetector(f, rc.Seed+int64(run)*7919, b)
+		prc, roc, err := evalDetector(ctx, f, rc.Seed+int64(run)*7919, b)
 		if err != nil {
-			return Cell{}, Cell{}, err
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return Cell{}, Cell{}, err
+			}
+			ec := ErrCell(err)
+			return ec, ec, nil
 		}
 		prcs = append(prcs, prc)
 		rocs = append(rocs, roc)
 	}
 	pm, ps := metrics.MeanStd(prcs)
 	rm, rs := metrics.MeanStd(rocs)
-	return Cell{pm, ps}, Cell{rm, rs}, nil
+	return Cell{Mean: pm, Std: ps}, Cell{Mean: rm, Std: rs}, nil
+}
+
+// cachedEval is repeatEval behind the state store: a cell already
+// recorded under key is returned without recomputation, and a freshly
+// computed successful cell is persisted so an interrupted table run
+// resumes where it left off. Error cells are never cached — a rerun
+// retries them.
+func cachedEval(ctx context.Context, rc RunConfig, st *State, key string, f detector.Factory, gen func(run int) (*dataset.Bundle, error)) (Cell, Cell, bool, error) {
+	if pair, ok := st.lookup(key); ok {
+		return pair.AUPRC, pair.AUROC, true, nil
+	}
+	prc, roc, err := repeatEval(ctx, rc, f, gen)
+	if err != nil {
+		return prc, roc, false, err
+	}
+	if !prc.Failed() && !roc.Failed() {
+		if err := st.put(key, cellPair{AUPRC: prc, AUROC: roc}); err != nil {
+			return prc, roc, false, err
+		}
+	}
+	return prc, roc, false, nil
 }
 
 // generateFor builds one run's bundle for a profile with optional

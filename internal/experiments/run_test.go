@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,9 +20,9 @@ type stubDetector struct {
 
 func (s *stubDetector) Name() string { return "stub" }
 
-func (s *stubDetector) Fit(train *dataset.TrainSet) error { return s.fitErr }
+func (s *stubDetector) Fit(ctx context.Context, train *dataset.TrainSet) error { return s.fitErr }
 
-func (s *stubDetector) Score(x *mat.Matrix) ([]float64, error) {
+func (s *stubDetector) Score(ctx context.Context, x *mat.Matrix) ([]float64, error) {
 	if s.scoreErr != nil {
 		return nil, s.scoreErr
 	}
@@ -47,7 +48,7 @@ func TestEvalDetectorPassesValidation(t *testing.T) {
 	b := stubBundle(t)
 	stub := &stubDetector{}
 	factory := func(seed int64) detector.Detector { return stub }
-	if _, _, err := evalDetector(factory, 1, b); err != nil {
+	if _, _, err := evalDetector(context.Background(), factory, 1, b); err != nil {
 		t.Fatal(err)
 	}
 	if stub.val == nil {
@@ -59,12 +60,12 @@ func TestEvalDetectorPropagatesErrors(t *testing.T) {
 	b := stubBundle(t)
 	fitErr := errors.New("boom-fit")
 	factory := func(seed int64) detector.Detector { return &stubDetector{fitErr: fitErr} }
-	if _, _, err := evalDetector(factory, 1, b); !errors.Is(err, fitErr) {
+	if _, _, err := evalDetector(context.Background(), factory, 1, b); !errors.Is(err, fitErr) {
 		t.Fatalf("fit error not propagated: %v", err)
 	}
 	scoreErr := errors.New("boom-score")
 	factory2 := func(seed int64) detector.Detector { return &stubDetector{scoreErr: scoreErr} }
-	if _, _, err := evalDetector(factory2, 1, b); !errors.Is(err, scoreErr) {
+	if _, _, err := evalDetector(context.Background(), factory2, 1, b); !errors.Is(err, scoreErr) {
 		t.Fatalf("score error not propagated: %v", err)
 	}
 }
@@ -74,7 +75,7 @@ func TestRepeatEvalAggregates(t *testing.T) {
 	rc := microConfig()
 	rc.Runs = 3
 	factory := func(seed int64) detector.Detector { return &stubDetector{} }
-	prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) { return b, nil })
+	prc, roc, err := repeatEval(context.Background(), rc, factory, func(run int) (*dataset.Bundle, error) { return b, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRepeatEvalPropagatesGenError(t *testing.T) {
 	rc := microConfig()
 	genErr := errors.New("boom-gen")
 	factory := func(seed int64) detector.Detector { return &stubDetector{} }
-	if _, _, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) { return nil, genErr }); !errors.Is(err, genErr) {
+	if _, _, err := repeatEval(context.Background(), rc, factory, func(run int) (*dataset.Bundle, error) { return nil, genErr }); !errors.Is(err, genErr) {
 		t.Fatalf("generator error not propagated: %v", err)
 	}
 }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// stateVersion is bumped whenever the JSON layout of a state file
+// changes incompatibly; Open rejects newer files with a clear error
+// instead of misreading them.
+const stateVersion = 1
+
+// cellPair is the persisted result of one table cell.
+type cellPair struct {
+	AUPRC, AUROC Cell
+}
+
+// stateFile is the on-disk layout of a table's resume state.
+type stateFile struct {
+	Version int
+	// Cells maps a cell key ("table2/DevNet/UNSW-NB15") to its
+	// completed result.
+	Cells map[string]cellPair
+}
+
+// State is the per-experiment resume store: a JSON file accumulating
+// completed cells so an interrupted table run (crash, ^C, -timeout)
+// continues from the last finished cell instead of starting over. A
+// nil *State disables caching and is valid everywhere.
+type State struct {
+	path string
+
+	mu    sync.Mutex
+	cells map[string]cellPair
+}
+
+// OpenState loads (or initializes) the state file at path.
+func OpenState(path string) (*State, error) {
+	s := &State{path: path, cells: make(map[string]cellPair)}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: state %s: %w", path, err)
+	}
+	var f stateFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("experiments: state %s is not a valid state file: %w", path, err)
+	}
+	if f.Version < 1 || f.Version > stateVersion {
+		return nil, fmt.Errorf("experiments: state %s has version %d, this build reads up to %d", path, f.Version, stateVersion)
+	}
+	if f.Cells != nil {
+		s.cells = f.Cells
+	}
+	return s, nil
+}
+
+// Len returns the number of completed cells on record.
+func (s *State) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// lookup returns the recorded result for key, if any. Nil-safe.
+func (s *State) lookup(key string) (cellPair, bool) {
+	if s == nil {
+		return cellPair{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.cells[key]
+	return p, ok
+}
+
+// put records a completed cell and rewrites the file atomically
+// (tmp + rename), so a crash mid-write never corrupts the store.
+// Nil-safe no-op.
+func (s *State) put(key string, p cellPair) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cells[key] = p
+	raw, err := json.MarshalIndent(stateFile{Version: stateVersion, Cells: s.cells}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: state %s: %w", s.path, err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("experiments: state %s: %w", s.path, err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiments: state %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// state opens the named experiment's resume store under rc.StateDir,
+// or returns nil (caching disabled) when no StateDir is configured.
+func (rc RunConfig) state(name string) (*State, error) {
+	if rc.StateDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(rc.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: state dir: %w", err)
+	}
+	return OpenState(filepath.Join(rc.StateDir, name+".json"))
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,8 +20,14 @@ type Table2Result struct {
 }
 
 // Table2 runs the full model × dataset grid. progress, when non-nil,
-// receives a line per completed cell.
-func Table2(rc RunConfig, progress io.Writer) (*Table2Result, error) {
+// receives a line per completed cell. A failing detector degrades to
+// an error cell while the rest of the grid completes; with
+// rc.StateDir set, completed cells persist across interrupted runs.
+func Table2(ctx context.Context, rc RunConfig, progress io.Writer) (*Table2Result, error) {
+	st, err := rc.state("table2")
+	if err != nil {
+		return nil, err
+	}
 	profiles := synth.AllProfiles()
 	models := Models(rc)
 	res := &Table2Result{}
@@ -37,7 +44,8 @@ func Table2(rc RunConfig, progress io.Writer) (*Table2Result, error) {
 		res.AUROC[mi] = make([]Cell, len(profiles))
 		for pi, p := range profiles {
 			p := p
-			prc, roc, err := repeatEval(rc, m.New, func(run int) (*dataset.Bundle, error) {
+			key := fmt.Sprintf("table2/%s/%s", m.Name, p.Name)
+			prc, roc, cached, err := cachedEval(ctx, rc, st, key, m.New, func(run int) (*dataset.Bundle, error) {
 				return rc.generateFor(p, run, nil)
 			})
 			if err != nil {
@@ -46,7 +54,11 @@ func Table2(rc RunConfig, progress io.Writer) (*Table2Result, error) {
 			res.AUPRC[mi][pi] = prc
 			res.AUROC[mi][pi] = roc
 			if progress != nil {
-				fmt.Fprintf(progress, "table2: %-10s %-10s AUPRC=%s AUROC=%s\n", m.Name, p.Name, prc, roc)
+				note := ""
+				if cached {
+					note = " (resumed)"
+				}
+				fmt.Fprintf(progress, "table2: %-10s %-10s AUPRC=%s AUROC=%s%s\n", m.Name, p.Name, prc, roc, note)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,8 +19,14 @@ type Table3Result struct {
 	AUROC    []Cell
 }
 
-// Table3 evaluates TargAD and its three ablated variants.
-func Table3(rc RunConfig, progress io.Writer) (*Table3Result, error) {
+// Table3 evaluates TargAD and its three ablated variants. With
+// rc.StateDir set, completed variants persist across interrupted
+// runs.
+func Table3(ctx context.Context, rc RunConfig, progress io.Writer) (*Table3Result, error) {
+	st, err := rc.state("table3")
+	if err != nil {
+		return nil, err
+	}
 	p := synth.UNSWNB15()
 	variants := []struct {
 		name         string
@@ -39,7 +46,7 @@ func Table3(rc RunConfig, progress io.Writer) (*Table3Result, error) {
 			cfg.UseRE = v.useRE
 			return core.New(cfg, seed)
 		}
-		prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) {
+		prc, roc, _, err := cachedEval(ctx, rc, st, "table3/"+v.name, factory, func(run int) (*dataset.Bundle, error) {
 			return rc.generateFor(p, run, nil)
 		})
 		if err != nil {

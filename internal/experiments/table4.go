@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,7 +22,7 @@ type Table4Result struct {
 // Table4 trains TargAD once per run on UNSW-NB15 and evaluates each
 // OOD strategy's three-way classification; reports are from the last
 // run (the paper reports a single confusion-matrix breakdown).
-func Table4(rc RunConfig, progress io.Writer) (*Table4Result, error) {
+func Table4(ctx context.Context, rc RunConfig, progress io.Writer) (*Table4Result, error) {
 	p := synth.UNSWNB15()
 	b, err := rc.generateFor(p, 0, nil)
 	if err != nil {
@@ -29,7 +30,7 @@ func Table4(rc RunConfig, progress io.Writer) (*Table4Result, error) {
 	}
 	model := core.New(rc.targadConfig(), rc.Seed)
 	model.SetValidation(b.Val)
-	if err := model.Fit(b.Train); err != nil {
+	if err := model.Fit(ctx, b.Train); err != nil {
 		return nil, fmt.Errorf("table4: fit: %w", err)
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,7 +22,7 @@ type WeightAblationResult struct {
 }
 
 // WeightAblation runs the three weighting variants on UNSW-NB15.
-func WeightAblation(rc RunConfig, progress io.Writer) (*WeightAblationResult, error) {
+func WeightAblation(ctx context.Context, rc RunConfig, progress io.Writer) (*WeightAblationResult, error) {
 	p := synth.UNSWNB15()
 	variants := []struct {
 		name   string
@@ -38,7 +39,7 @@ func WeightAblation(rc RunConfig, progress io.Writer) (*WeightAblationResult, er
 			v.mutate(&cfg)
 			return core.New(cfg, seed)
 		}
-		prc, roc, err := repeatEval(rc, factory, func(run int) (*dataset.Bundle, error) {
+		prc, roc, err := repeatEval(ctx, rc, factory, func(run int) (*dataset.Bundle, error) {
 			return rc.generateFor(p, run, nil)
 		})
 		if err != nil {

@@ -1,0 +1,172 @@
+// Package faultinject is the repository's fault-injection substrate:
+// a process-wide registry of named injection points that production
+// code probes at interesting failure boundaries (a training batch, a
+// worker chunk, a checkpoint write). Tests arm a point for a bounded
+// number of firings and the probed code simulates the corresponding
+// fault — a NaN in a mini-batch, a crashed pool worker, a failed disk
+// write, a slow chunk — so the failure-mode suite can exercise every
+// recovery path deterministically.
+//
+// The substrate is built to be free when idle: every probe first reads
+// one atomic bool (no map lookup, no lock, no allocation), so leaving
+// the probes compiled into hot training loops costs nothing in
+// production. Points are armed with Arm/ArmAfter/ArmDelay and cleared
+// with Reset; firing is counted, so a point armed for n firings
+// injects exactly n faults and then goes quiet.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injection point names. Each constant documents the fault the probed
+// code simulates when the point fires.
+const (
+	// AEBatchNaN poisons one autoencoder training batch with a NaN
+	// feature value (internal/autoencoder).
+	AEBatchNaN = "autoencoder/batch-nan"
+	// ClfBatchNaN poisons one classifier training batch with a NaN
+	// feature value (internal/core).
+	ClfBatchNaN = "core/clf-batch-nan"
+	// WorkerCrash simulates a pool worker dying before it runs its
+	// chunk (internal/parallel). The pool falls back to running the
+	// chunk serially on the caller's goroutine.
+	WorkerCrash = "parallel/worker-crash"
+	// WorkerPanic panics inside a chunk's execution (internal/
+	// parallel), modeling a bug in the chunk function itself; the
+	// panic propagates to the caller like any fn panic.
+	WorkerPanic = "parallel/worker-panic"
+	// WorkerSlow delays a chunk by the armed duration (internal/
+	// parallel), modeling a straggling worker.
+	WorkerSlow = "parallel/worker-slow"
+	// CheckpointWrite fails a training-checkpoint write
+	// (internal/core), modeling a full or broken disk.
+	CheckpointWrite = "core/checkpoint-write"
+)
+
+// enabled is the global fast path: false whenever no point is armed,
+// so Fire is a single atomic load in production.
+var enabled atomic.Bool
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// point is one armed injection site.
+type point struct {
+	skip      int64 // hits to let pass before firing
+	remaining int64 // firings left; <0 means unlimited
+	delay     time.Duration
+	fired     int64 // total times this point fired
+}
+
+// Arm arms a point to fire on its next `times` hits (times < 0 arms it
+// indefinitely).
+func Arm(name string, times int) { ArmAfter(name, 0, times) }
+
+// ArmAfter arms a point to let `skip` hits pass, then fire `times`
+// times (times < 0 means every hit after the skip).
+func ArmAfter(name string, skip, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{skip: int64(skip), remaining: int64(times)}
+	enabled.Store(true)
+}
+
+// ArmDelay arms a point whose probe sleeps for d on each of its next
+// `times` hits (used by Sleep probes such as WorkerSlow).
+func ArmDelay(name string, d time.Duration, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{remaining: int64(times), delay: d}
+	enabled.Store(true)
+}
+
+// Disarm removes one point, leaving others armed.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	enabled.Store(len(points) > 0)
+}
+
+// Reset disarms every point and restores the zero-cost idle state.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	enabled.Store(false)
+}
+
+// Enabled reports whether any point is armed. Hot paths may use it to
+// guard a cluster of probes with one atomic load.
+func Enabled() bool { return enabled.Load() }
+
+// Fire reports whether the named point fires at this hit, consuming
+// one firing when it does. When nothing is armed it is a single atomic
+// load. Safe for concurrent use from pool workers.
+func Fire(name string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	return fire(name) != nil
+}
+
+// Delay returns the armed delay if the named point fires at this hit,
+// or 0. Probes that model slowness call Sleep instead.
+func Delay(name string) time.Duration {
+	if !enabled.Load() {
+		return 0
+	}
+	if p := fire(name); p != nil {
+		return p.delay
+	}
+	return 0
+}
+
+// Sleep blocks for the point's armed delay when it fires; it returns
+// immediately when the point is idle.
+func Sleep(name string) {
+	if d := Delay(name); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Fired returns how many times the named point has fired since it was
+// last armed (0 when never armed). Tests use it to assert a probe was
+// actually reached.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return int(p.fired)
+	}
+	return 0
+}
+
+// fire holds the slow-path bookkeeping: skip counting, bounded
+// firings, and the fired tally. It returns the point when this hit
+// fires.
+func fire(name string) *point {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return nil
+	}
+	if p.skip > 0 {
+		p.skip--
+		return nil
+	}
+	if p.remaining == 0 {
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.fired++
+	return p
+}

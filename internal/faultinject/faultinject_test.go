@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh registry must be disabled")
+	}
+	if Fire(WorkerCrash) {
+		t.Fatal("unarmed point must not fire")
+	}
+	if Delay(WorkerSlow) != 0 {
+		t.Fatal("unarmed delay must be zero")
+	}
+}
+
+func TestArmFiresExactlyNTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(ClfBatchNaN, 2)
+	got := 0
+	for i := 0; i < 10; i++ {
+		if Fire(ClfBatchNaN) {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("armed for 2, fired %d times", got)
+	}
+	if Fired(ClfBatchNaN) != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired(ClfBatchNaN))
+	}
+}
+
+func TestArmAfterSkipsLeadingHits(t *testing.T) {
+	t.Cleanup(Reset)
+	ArmAfter(AEBatchNaN, 3, 1)
+	pattern := make([]bool, 6)
+	for i := range pattern {
+		pattern[i] = Fire(AEBatchNaN)
+	}
+	want := []bool{false, false, false, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestUnlimitedArm(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(WorkerPanic, -1)
+	for i := 0; i < 100; i++ {
+		if !Fire(WorkerPanic) {
+			t.Fatalf("unlimited point stopped firing at hit %d", i)
+		}
+	}
+}
+
+func TestDisarmLeavesOthersArmed(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(WorkerCrash, -1)
+	Arm(WorkerPanic, -1)
+	Disarm(WorkerCrash)
+	if Fire(WorkerCrash) {
+		t.Fatal("disarmed point fired")
+	}
+	if !Fire(WorkerPanic) {
+		t.Fatal("sibling point was disarmed too")
+	}
+	if !Enabled() {
+		t.Fatal("registry must stay enabled while any point is armed")
+	}
+}
+
+func TestArmDelay(t *testing.T) {
+	t.Cleanup(Reset)
+	ArmDelay(WorkerSlow, 10*time.Millisecond, 1)
+	start := time.Now()
+	Sleep(WorkerSlow)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("armed Sleep returned after %v, want >= 10ms", elapsed)
+	}
+	start = time.Now()
+	Sleep(WorkerSlow) // firing budget spent
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("spent Sleep blocked for %v", elapsed)
+	}
+}
+
+func TestConcurrentFireCountsExactly(t *testing.T) {
+	t.Cleanup(Reset)
+	const armed = 64
+	Arm(WorkerCrash, armed)
+	var wg sync.WaitGroup
+	counts := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Fire(WorkerCrash) {
+					counts[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != armed {
+		t.Fatalf("concurrent firings = %d, want exactly %d", total, armed)
+	}
+}

@@ -15,7 +15,7 @@ func fillDet(data []float64, seed uint64) {
 		s = s*2862933555777941757 + 3037000493
 		// Map to roughly [-4, 4) with enough mantissa variety that
 		// re-associated sums would not round identically.
-		data[i] = float64(int64(s>>11))/(1<<51) * 4
+		data[i] = float64(int64(s>>11)) / (1 << 51) * 4
 	}
 }
 

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumericalError is the typed diagnostic returned when a training loop
+// detects non-finite or diverging numerics — a NaN/Inf loss, a
+// poisoned parameter, or a loss explosion. Training code returns it
+// instead of silently producing a NaN model; callers can errors.As on
+// it to distinguish numerical failures from I/O or shape errors.
+type NumericalError struct {
+	// Stage names the training stage ("autoencoder", "classifier").
+	Stage string
+	// Cluster is the per-cluster index for autoencoder training, -1
+	// otherwise.
+	Cluster int
+	// Epoch is the epoch at which the fault was detected.
+	Epoch int
+	// Attempt counts LR-halving retries already consumed (0 = first).
+	Attempt int
+	// Detail describes the sentinel that tripped ("non-finite loss",
+	// "non-finite parameter W1", "diverging loss").
+	Detail string
+	// Value is the offending loss value when applicable.
+	Value float64
+}
+
+func (e *NumericalError) Error() string {
+	where := e.Stage
+	if e.Cluster >= 0 {
+		where = fmt.Sprintf("%s cluster %d", e.Stage, e.Cluster)
+	}
+	return fmt.Sprintf("nn: %s epoch %d (attempt %d): %s (loss=%v)",
+		where, e.Epoch, e.Attempt, e.Detail, e.Value)
+}
+
+// Finite reports whether v is neither NaN nor ±Inf.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// NonFiniteParam scans every parameter's values and gradients and
+// returns the name of the first parameter holding a non-finite entry,
+// or "" when all are healthy. It allocates nothing, so per-epoch guard
+// scans do not perturb the zero-allocation training budgets.
+func NonFiniteParam(params []*Param) string {
+	for _, p := range params {
+		for _, v := range p.Data {
+			if !Finite(v) {
+				return p.Name
+			}
+		}
+		for _, g := range p.Grad {
+			if !Finite(g) {
+				return p.Name
+			}
+		}
+	}
+	return ""
+}
+
+// DivergenceFactor is the loss-explosion threshold of the training
+// guards: an epoch loss exceeding DivergenceFactor times the first
+// epoch's loss (and an absolute floor) is treated as divergence. The
+// factor is deliberately loose — healthy runs, including the noisy
+// early epochs of adversarial baselines, never approach it — so the
+// guard only trips on genuinely runaway optimization.
+const DivergenceFactor = 1e9
+
+// Diverged reports whether epochLoss constitutes a numerical
+// divergence relative to the run's first finite epoch loss.
+func Diverged(epochLoss, firstLoss float64) bool {
+	if !Finite(epochLoss) {
+		return true
+	}
+	limit := DivergenceFactor * math.Max(math.Abs(firstLoss), 1)
+	return math.Abs(epochLoss) > limit
+}

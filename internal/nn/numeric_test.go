@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e308, -1e308, 5e-324} {
+		if !Finite(v) {
+			t.Fatalf("Finite(%v) = false", v)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if Finite(v) {
+			t.Fatalf("Finite(%v) = true", v)
+		}
+	}
+}
+
+func TestDiverged(t *testing.T) {
+	if Diverged(1.0, 1.0) || Diverged(1e6, 1.0) {
+		t.Fatal("healthy losses flagged as divergence")
+	}
+	// Tiny first losses use the absolute floor, not a relative blowup.
+	if Diverged(1e8, 1e-12) {
+		t.Fatal("floor must absorb noisy early epochs with tiny first loss")
+	}
+	if !Diverged(2e9, 1.0) {
+		t.Fatal("loss beyond DivergenceFactor × first loss must trip")
+	}
+	if !Diverged(math.NaN(), 1.0) || !Diverged(math.Inf(1), 1.0) {
+		t.Fatal("non-finite loss must always count as divergence")
+	}
+}
+
+func TestNonFiniteParam(t *testing.T) {
+	healthy := []*Param{
+		{Name: "W1", Data: []float64{1, 2}, Grad: []float64{0, 0}},
+		{Name: "b1", Data: []float64{0}, Grad: []float64{-1}},
+	}
+	if got := NonFiniteParam(healthy); got != "" {
+		t.Fatalf("healthy params flagged: %q", got)
+	}
+	healthy[1].Grad[0] = math.Inf(-1)
+	if got := NonFiniteParam(healthy); got != "b1" {
+		t.Fatalf("poisoned gradient not attributed: %q", got)
+	}
+	healthy[1].Grad[0] = -1
+	healthy[0].Data[1] = math.NaN()
+	if got := NonFiniteParam(healthy); got != "W1" {
+		t.Fatalf("poisoned weight not attributed: %q", got)
+	}
+}
+
+func TestNonFiniteParamAllocFree(t *testing.T) {
+	params := []*Param{{Name: "W", Data: make([]float64, 256), Grad: make([]float64, 256)}}
+	if n := testing.AllocsPerRun(10, func() { NonFiniteParam(params) }); n != 0 {
+		t.Fatalf("guard scan allocates %v per run", n)
+	}
+}
+
+func TestNumericalErrorMessage(t *testing.T) {
+	e := &NumericalError{Stage: "autoencoder", Cluster: 3, Epoch: 7, Attempt: 1, Detail: "non-finite loss", Value: math.NaN()}
+	msg := e.Error()
+	for _, want := range []string{"autoencoder", "cluster 3", "epoch 7", "attempt 1", "non-finite loss"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error message %q missing %q", msg, want)
+		}
+	}
+	flat := &NumericalError{Stage: "classifier", Cluster: -1, Epoch: 2, Detail: "diverging loss", Value: 1e12}
+	if strings.Contains(flat.Error(), "cluster") {
+		t.Fatalf("cluster mentioned for non-cluster stage: %q", flat.Error())
+	}
+}

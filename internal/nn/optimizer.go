@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -60,6 +63,60 @@ func (a *Adam) Step(params []*Param) {
 			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
 		}
 	}
+}
+
+// AdamState is a serializable snapshot of an Adam optimizer's mutable
+// state (step count and first/second moments), captured in params
+// order. It is the optimizer half of a training checkpoint: restoring
+// it into a fresh Adam with the same parameters resumes optimization
+// bitwise-identically.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// Snapshot deep-copies the optimizer's state for params, in order.
+// Parameters the optimizer has not yet seen get zero moments, exactly
+// as a fresh Step would initialize them.
+func (a *Adam) Snapshot(params []*Param) AdamState {
+	st := AdamState{T: a.t, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		st.M[i] = make([]float64, len(p.Data))
+		st.V[i] = make([]float64, len(p.Data))
+		if m, ok := a.m[p]; ok {
+			copy(st.M[i], m)
+		}
+		if v, ok := a.v[p]; ok {
+			copy(st.V[i], v)
+		}
+	}
+	return st
+}
+
+// Restore loads a Snapshot taken for an identically shaped params
+// slice. It errors on any shape mismatch instead of silently resuming
+// from torn state.
+func (a *Adam) Restore(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam restore: %d moment tensors, have %d params", len(st.M), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Data) || len(st.V[i]) != len(p.Data) {
+			return fmt.Errorf("nn: adam restore: param %d has %d values, snapshot %d", i, len(p.Data), len(st.M[i]))
+		}
+	}
+	a.t = st.T
+	a.m = make(map[*Param][]float64, len(params))
+	a.v = make(map[*Param][]float64, len(params))
+	for i, p := range params {
+		m := make([]float64, len(p.Data))
+		copy(m, st.M[i])
+		a.m[p] = m
+		v := make([]float64, len(p.Data))
+		copy(v, st.V[i])
+		a.v[p] = v
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent with optional momentum,

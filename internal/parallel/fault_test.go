@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"targad/internal/faultinject"
+)
+
+// sumChunks runs a chunked accumulation into per-index slots and folds
+// serially, the package's canonical usage.
+func sumChunks(n int) float64 {
+	out := make([]float64, n)
+	ForEachChunkN(4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i) * 1.5
+		}
+	})
+	var s float64
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+func TestWorkerCrashFallsBackSerially(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	want := sumChunks(1000)
+
+	// Crash every worker of the next dispatch: all four chunks must be
+	// re-executed serially and the result must be identical.
+	faultinject.Arm(faultinject.WorkerCrash, 4)
+	got := sumChunks(1000)
+	if got != want {
+		t.Fatalf("all-crash fallback result %v, want %v", got, want)
+	}
+	if faultinject.Fired(faultinject.WorkerCrash) != 4 {
+		t.Fatalf("crash point fired %d times, want 4", faultinject.Fired(faultinject.WorkerCrash))
+	}
+
+	// Crash a single worker.
+	faultinject.Arm(faultinject.WorkerCrash, 1)
+	if got := sumChunks(1000); got != want {
+		t.Fatalf("single-crash fallback result %v, want %v", got, want)
+	}
+}
+
+func TestWorkerCrashPreservesAccumulation(t *testing.T) {
+	// Chunks that *accumulate* into disjoint regions (the MulATBAcc
+	// pattern) must not double-apply under the fallback: the crashed
+	// chunk never ran, so its serial re-execution is the only one.
+	t.Cleanup(faultinject.Reset)
+	run := func() []float64 {
+		acc := make([]float64, 8)
+		ForEachChunkN(4, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				acc[i] += float64(i + 1)
+			}
+		})
+		return acc
+	}
+	want := run()
+	faultinject.Arm(faultinject.WorkerCrash, 2)
+	got := run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %v after crash fallback, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm(faultinject.WorkerPanic, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("in-chunk panic must propagate to the caller")
+		}
+		if !strings.Contains(r.(string), "worker chunk") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	sumChunks(1000)
+}
+
+func TestWorkerSlowStillCompletes(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	want := sumChunks(1000)
+	faultinject.ArmDelay(faultinject.WorkerSlow, 20*time.Millisecond, 1)
+	start := time.Now()
+	got := sumChunks(1000)
+	if got != want {
+		t.Fatalf("slow-chunk result %v, want %v", got, want)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("slow injection did not delay the chunk")
+	}
+}

@@ -22,6 +22,15 @@
 // with the TARGAD_WORKERS environment variable, and can be changed at
 // runtime with SetWorkers (used by benchmarks and the -workers flag of
 // cmd/targad-bench).
+//
+// Fault tolerance: a worker that dies before executing its chunk
+// (simulated via internal/faultinject's WorkerCrash point) degrades
+// gracefully — the failed chunks are re-executed serially on the
+// caller's goroutine, preserving exactly-once chunk execution and
+// bitwise-identical results. A panic raised *inside* the chunk
+// function (a real bug, or the WorkerPanic point) still propagates to
+// the caller, where the public detector API converts it into an
+// error.
 package parallel
 
 import (
@@ -31,6 +40,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"targad/internal/faultinject"
 )
 
 // workers holds the configured worker count (always >= 1).
@@ -131,6 +142,7 @@ func ForEachChunkN(w, n int, fn func(lo, hi int)) {
 		return
 	}
 	panics := make([]*chunkPanic, len(ranges))
+	crashed := make([]bool, len(ranges))
 	var wg sync.WaitGroup
 	for c, rg := range ranges {
 		wg.Add(1)
@@ -141,6 +153,21 @@ func ForEachChunkN(w, n int, fn func(lo, hi int)) {
 					panics[c] = &chunkPanic{chunk: c, value: r}
 				}
 			}()
+			if faultinject.Enabled() {
+				// A simulated worker crash dies before fn touches any
+				// state, so the serial fallback below can re-execute
+				// the chunk exactly once. WorkerPanic instead fires
+				// inside the chunk's execution, modeling a bug in fn
+				// itself; it propagates like any fn panic.
+				if faultinject.Fire(faultinject.WorkerCrash) {
+					crashed[c] = true
+					return
+				}
+				faultinject.Sleep(faultinject.WorkerSlow)
+				if faultinject.Fire(faultinject.WorkerPanic) {
+					panic("faultinject: worker panic")
+				}
+			}
 			fn(lo, hi)
 		}(c, rg[0], rg[1])
 	}
@@ -148,6 +175,15 @@ func ForEachChunkN(w, n int, fn func(lo, hi int)) {
 	for _, p := range panics {
 		if p != nil {
 			panic(fmt.Sprintf("parallel: worker chunk %d panicked: %v", p.chunk, p.value))
+		}
+	}
+	// Graceful degradation: chunks whose worker died before running fn
+	// are re-executed serially on the caller's goroutine, in schedule
+	// order. Every chunk still runs exactly once, so results (including
+	// accumulate kernels) are bitwise identical to a healthy run.
+	for c, rg := range ranges {
+		if crashed[c] {
+			fn(rg[0], rg[1])
 		}
 	}
 }

@@ -31,6 +31,26 @@ TARGAD_WORKERS=4 go test -race -short -count=1 \
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'ParallelSerialIdentical' ./internal/core
 
+# Fault-injection suite: cancellation, checkpoint/resume equivalence,
+# NaN guards, worker panic/crash containment, and checkpoint write
+# failure, each surfacing as its typed error. These run as part of the
+# full suite above too; this explicit pass keeps the failure-mode
+# contract visible in CI output and runs the worker-crash fallback
+# with a multi-worker pool.
+echo "== fault-injection suite =="
+go test -count=1 \
+    -run 'TestCheckpoint|TestFitCancellation|TestClassifierNaN|TestAutoencoderNaN|TestWorkerPanic' \
+    ./internal/core
+TARGAD_WORKERS=4 go test -count=1 -run 'Fault|Crash|Panic|Slow' \
+    ./internal/parallel
+go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalError' \
+    ./internal/nn
+
+# Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader (the
+# seed corpus always runs in the full suite; this explores beyond it).
+echo "== fuzz smoke (FuzzLoadCSV, 10s) =="
+go test -fuzz FuzzLoadCSV -fuzztime 10s -run '^$' ./internal/dataset
+
 # Allocation-budget smoke: one iteration of each hot-path benchmark
 # with -benchmem, failing if allocs/op regresses above its budget. The
 # budgets are ~2x the post-PR-2 steady-state measurements (benchtime=1x
