@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"targad/internal/buildinfo"
 	"targad/internal/dataset/synth"
 	"targad/internal/detector"
 	"targad/internal/experiments"
@@ -20,7 +21,12 @@ func main() {
 	models := flag.String("models", "iForest,DeepSAD,DevNet,PReNet,TargAD", "comma list")
 	diag := flag.Bool("diag", false, "print TargAD candidate diagnostics")
 	seeds := flag.Int("seeds", 1, "average over this many seeds")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("shapecheck %s\n", buildinfo.Version())
+		return
+	}
 	rc := experiments.Fast()
 	p, ok := synth.ProfileByName(*name)
 	if !ok {

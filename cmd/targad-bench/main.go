@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"targad/internal/buildinfo"
 	"targad/internal/experiments"
 	"targad/internal/parallel"
 )
@@ -45,8 +46,14 @@ func main() {
 		workers = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30m); 0 disables")
 		state   = flag.String("state", "", "directory for per-table resume state; an interrupted run continues from its last completed cell")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("targad-bench %s\n", buildinfo.Version())
+		return
+	}
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)

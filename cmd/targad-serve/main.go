@@ -1,0 +1,126 @@
+// Command targad-serve exposes a persisted TargAD model (written with
+// targad -save, or core.Model.Save) as an HTTP JSON scoring service.
+//
+//	targad-serve -model model.gob -addr :8080
+//
+// Score instances (one JSON row per instance; scores are S^tar,
+// decisions the 3-way normal/target/non-target call):
+//
+//	curl -s localhost:8080/score -d '{
+//	  "instances": [[0.1, 0.7, ...], [0.9, 0.2, ...]],
+//	  "strategy": "ED",
+//	  "probabilities": true
+//	}'
+//
+// Concurrent requests are micro-batched (-max-batch rows, -max-wait
+// window) into single inference passes. The queue is bounded
+// (-queue); when full, requests are shed with 429 + Retry-After. The
+// model hot-reloads from -model on SIGHUP or POST /reload with zero
+// failed requests — in-flight batches finish on the model they
+// started with. /healthz, /readyz, /metrics (Prometheus text),
+// /debug/vars, and (with -pprof) /debug/pprof serve operations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"targad/internal/buildinfo"
+	"targad/internal/parallel"
+	"targad/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath   = flag.String("model", "", "saved model file to serve (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBatch    = flag.Int("max-batch", 64, "max rows per inference micro-batch (1 disables batching)")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait for an incomplete batch to fill")
+		queueDepth  = flag.Int("queue", 256, "bounded queue depth; beyond it requests shed with 429")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
+		strategy    = flag.String("strategy", "ED", "default identification strategy (MSP, ES, ED)")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		workers     = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("targad-serve %s\n", buildinfo.Version())
+		return
+	}
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "targad-serve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	strat, ok := serve.ParseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "targad-serve: unknown -strategy %q (want MSP, ES, or ED)\n", *strategy)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+
+	s, err := serve.New(serve.Config{
+		ModelPath:   *modelPath,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		QueueDepth:  *queueDepth,
+		RetryAfter:  *retryAfter,
+		Strategy:    strat,
+		EnablePprof: *enablePprof,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// SIGHUP hot-reloads the model file; ^C/SIGTERM shut down
+	// gracefully, draining in-flight requests before exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if _, err := s.Reload(); err != nil {
+				log.Printf("targad-serve: SIGHUP reload failed, keeping current model: %v", err)
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("targad-serve %s: serving %s on %s (batch<=%d wait=%s queue=%d strategy=%s)",
+		buildinfo.Version(), *modelPath, *addr, *maxBatch, *maxWait, *queueDepth, strat)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("targad-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("targad-serve: shutdown: %v", err)
+		}
+		s.Close()
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.Close()
+			fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

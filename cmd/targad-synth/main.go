@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"targad/internal/buildinfo"
 	"targad/internal/dataset"
 	"targad/internal/dataset/synth"
 	"targad/internal/mat"
@@ -34,8 +35,14 @@ func main() {
 		labeled = flag.Int("labeled", 0, "labeled anomalies per target type (0 = profile default, scaled)")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		outDir  = flag.String("out", ".", "output directory (created if missing)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("targad-synth %s\n", buildinfo.Version())
+		return
+	}
 
 	profile, ok := synth.ProfileByName(*name)
 	if !ok {

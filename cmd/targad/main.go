@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"targad/internal/buildinfo"
 	"targad/internal/core"
 	"targad/internal/dataset"
 	"targad/internal/mat"
@@ -51,8 +52,13 @@ func main() {
 		normalize     = flag.Bool("normalize", true, "min-max scale features using the training data's ranges")
 		timeout       = flag.Duration("timeout", 0, "abort training/scoring after this long (e.g. 10m); 0 disables")
 		checkpoint    = flag.String("checkpoint", "", "checkpoint file for crash-safe training; an interrupted run rerun with the same flags resumes exactly where it stopped")
+		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("targad %s\n", buildinfo.Version())
+		return
+	}
 	if *scorePath == "" || (*loadPath == "" && (*labeledPath == "" || *unlabeledPath == "")) {
 		fmt.Fprintln(os.Stderr, "targad: need -score plus either -load or both -labeled and -unlabeled")
 		flag.Usage()

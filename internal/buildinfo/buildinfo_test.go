@@ -1,0 +1,55 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestVersionFrom(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		want string
+	}{
+		{"nil info", nil, "devel"},
+		{"module version", &debug.BuildInfo{Main: debug.Module{Version: "v1.4.0"}}, "v1.4.0"},
+		{"devel no vcs", &debug.BuildInfo{Main: debug.Module{Version: "(devel)"}}, "devel"},
+		{
+			"vcs revision",
+			&debug.BuildInfo{
+				Main:     debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{{Key: "vcs.revision", Value: "0123456789abcdef"}},
+			},
+			"devel+0123456789ab",
+		},
+		{
+			"dirty tree",
+			&debug.BuildInfo{
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "feedface"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			"devel+feedface-dirty",
+		},
+	}
+	for _, tc := range cases {
+		if got := versionFrom(tc.bi); got != tc.want {
+			t.Errorf("%s: versionFrom = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLdflagsOverrideWins(t *testing.T) {
+	defer func() { version = "" }()
+	version = "v9.9.9"
+	if got := versionFrom(nil); got != "v9.9.9" {
+		t.Fatalf("ldflags override ignored: %q", got)
+	}
+}
+
+func TestVersionNeverEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version must never be empty")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/parallel"
+)
+
+// ErrNotCalibrated reports an identification request for a strategy the
+// model has no threshold for (e.g. it was trained without non-target
+// candidates). Callers that treat identification as best-effort — the
+// serving layer omitting decisions rather than failing the request —
+// test for it with errors.Is.
+var ErrNotCalibrated = errors.New("targad: identification strategy not calibrated")
+
+// InferOptions selects what one Infer pass computes beyond the Eq. (9)
+// target scores.
+type InferOptions struct {
+	// Strategies lists the Section III-C identification strategies to
+	// apply; the result carries one decision vector per entry. Empty
+	// skips identification entirely.
+	Strategies []OODStrategy
+	// Probs requests the per-class probability matrix in the result.
+	Probs bool
+}
+
+// InferResult is one batch's inference output. Every field is
+// caller-owned: nothing references model workspaces, so results
+// outlive any later call on the model.
+type InferResult struct {
+	// Scores holds S^tar per row (Eq. 9), identical to Model.Score.
+	Scores []float64
+	// Kinds holds the three-way decision per requested strategy,
+	// identical to Model.Identify.
+	Kinds map[OODStrategy][]dataset.Kind
+	// Probs holds softmax class probabilities (m+k columns) when
+	// requested, identical to Model.Probabilities.
+	Probs *mat.Matrix
+}
+
+// maxInferReplicas caps the replica free-list. Replicas beyond the cap
+// are simply dropped on release and reclaimed by the GC; steady-state
+// serving converges on one replica per concurrently scoring goroutine.
+const maxInferReplicas = 32
+
+// acquireInferClf returns a parameter-sharing classifier replica,
+// reusing a pooled one when available.
+func (mo *Model) acquireInferClf() *nn.MLP {
+	mo.inferMu.Lock()
+	if n := len(mo.inferFree); n > 0 {
+		r := mo.inferFree[n-1]
+		mo.inferFree[n-1] = nil
+		mo.inferFree = mo.inferFree[:n-1]
+		mo.inferMu.Unlock()
+		return r
+	}
+	mo.inferMu.Unlock()
+	return mo.clf.ShareParams()
+}
+
+// releaseInferClf returns a replica to the free-list.
+func (mo *Model) releaseInferClf(r *nn.MLP) {
+	mo.inferMu.Lock()
+	if len(mo.inferFree) < maxInferReplicas {
+		mo.inferFree = append(mo.inferFree, r)
+	}
+	mo.inferMu.Unlock()
+}
+
+// Infer is the thread-safe inference path: it scores x on a pooled
+// parameter-sharing replica of the classifier, so any number of
+// goroutines may call it concurrently on one fitted (or loaded) Model.
+// The outputs are bitwise-identical to the single-threaded Score,
+// Probabilities, and Identify on the same rows — replicas share the
+// exact parameter tensors and every kernel computes each row
+// independently of which other rows share its batch.
+//
+// Infer must not run concurrently with Fit: training mutates the
+// shared parameters.
+func (mo *Model) Infer(ctx context.Context, x *mat.Matrix, opt InferOptions) (res *InferResult, err error) {
+	defer recoverToError("infer", &err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	if mo.clf == nil {
+		return nil, errors.New("targad: model is not fitted")
+	}
+	if x.Cols != mo.dim {
+		return nil, fmt.Errorf("targad: input dim %d, want %d", x.Cols, mo.dim)
+	}
+	thresholds := make(map[OODStrategy]float64, len(opt.Strategies))
+	for _, s := range opt.Strategies {
+		thr, ok := mo.idThreshold[s]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, s)
+		}
+		thresholds[s] = thr
+	}
+
+	clf := mo.acquireInferClf()
+	defer mo.releaseInferClf(clf)
+
+	logits := clf.Forward(x)
+	// SoftmaxRows allocates a fresh matrix (not a layer workspace), so
+	// probs is caller-owned and survives the replica's release.
+	probs := nn.SoftmaxRows(logits)
+
+	res = &InferResult{Scores: make([]float64, x.Rows)}
+	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_, res.Scores[i] = mat.ArgMax(probs.Row(i)[:mo.m])
+		}
+	})
+
+	if len(opt.Strategies) > 0 {
+		res.Kinds = make(map[OODStrategy][]dataset.Kind, len(opt.Strategies))
+		for _, s := range opt.Strategies {
+			res.Kinds[s] = make([]dataset.Kind, x.Rows)
+		}
+		normalCut := float64(mo.k) / float64(mo.m+mo.k)
+		for i := 0; i < x.Rows; i++ {
+			row := probs.Row(i)
+			var pNormal float64
+			for j := mo.m; j < mo.m+mo.k; j++ {
+				pNormal += row[j]
+			}
+			for _, s := range opt.Strategies {
+				switch {
+				case pNormal > normalCut:
+					res.Kinds[s][i] = dataset.KindNormal
+				case idness(s, logits.Row(i)) >= thresholds[s]:
+					res.Kinds[s][i] = dataset.KindTarget
+				default:
+					res.Kinds[s][i] = dataset.KindNonTarget
+				}
+			}
+		}
+	}
+	if opt.Probs {
+		res.Probs = probs
+	}
+	return res, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+// fixtureLoadedModel loads the committed v1 fixture — a trained model
+// with calibrated thresholds — so inference tests need no training.
+func fixtureLoadedModel(t *testing.T) *Model {
+	t.Helper()
+	raw, err := os.ReadFile(fixtureModel)
+	if err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInferMatchesOfflinePaths(t *testing.T) {
+	m := fixtureLoadedModel(t)
+	x := fixtureInput(m.dim)
+
+	wantScores, err := m.Score(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs, err := m.Probabilities(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs = wantProbs.Clone() // layer workspace; Infer below reuses it
+	wantKinds := map[OODStrategy][]int{}
+	for _, s := range OODStrategies() {
+		ks, err := m.Identify(x, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ints := make([]int, len(ks))
+		for i, k := range ks {
+			ints[i] = int(k)
+		}
+		wantKinds[s] = ints
+	}
+
+	res, err := m.Infer(context.Background(), x, InferOptions{Strategies: OODStrategies(), Probs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantScores {
+		if res.Scores[i] != wantScores[i] {
+			t.Fatalf("Infer score %d differs from Score: %v vs %v", i, res.Scores[i], wantScores[i])
+		}
+	}
+	for i := range wantProbs.Data {
+		if res.Probs.Data[i] != wantProbs.Data[i] {
+			t.Fatalf("Infer probability %d differs from Probabilities", i)
+		}
+	}
+	for _, s := range OODStrategies() {
+		for i, k := range res.Kinds[s] {
+			if int(k) != wantKinds[s][i] {
+				t.Fatalf("Infer %s decision %d differs from Identify: %v vs %v", s, i, k, wantKinds[s][i])
+			}
+		}
+	}
+}
+
+// TestInferConcurrentBitwiseIdentical is the race suite pinning the
+// serving contract: N goroutines hammer Infer on one model with
+// distinct batches while the pinned offline scores must come back
+// bitwise-identical every time. Run under -race this also proves the
+// replica pool keeps the goroutines off each other's workspaces.
+func TestInferConcurrentBitwiseIdentical(t *testing.T) {
+	m := fixtureLoadedModel(t)
+	const goroutines = 8
+	const iters = 25
+
+	batches := make([]*mat.Matrix, goroutines)
+	wantScores := make([][]float64, goroutines)
+	wantKinds := make([][]int, goroutines)
+	for g := range batches {
+		r := rng.New(int64(31 + g))
+		x := mat.New(5+g, m.dim)
+		for i := range x.Data {
+			x.Data[i] = r.Float64()
+		}
+		batches[g] = x
+		s, err := m.Score(context.Background(), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantScores[g] = s
+		ks, err := m.Identify(x, ED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ints := make([]int, len(ks))
+		for i, k := range ks {
+			ints[i] = int(k)
+		}
+		wantKinds[g] = ints
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	fails := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < iters; iter++ {
+				res, err := m.Infer(context.Background(), batches[g], InferOptions{Strategies: []OODStrategy{ED}})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range wantScores[g] {
+					if res.Scores[i] != wantScores[g][i] {
+						fails[g] = "concurrent Infer score diverged from offline Score"
+						return
+					}
+					if int(res.Kinds[ED][i]) != wantKinds[g][i] {
+						fails[g] = "concurrent Infer decision diverged from offline Identify"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if fails[g] != "" {
+			t.Fatalf("goroutine %d: %s", g, fails[g])
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	m := fixtureLoadedModel(t)
+
+	if _, err := New(testConfig(), 1).Infer(context.Background(), mat.New(1, 3), InferOptions{}); err == nil {
+		t.Fatal("Infer on an unfitted model must error")
+	}
+	if _, err := m.Infer(context.Background(), mat.New(2, m.dim+1), InferOptions{}); err == nil {
+		t.Fatal("Infer with the wrong dim must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Infer(ctx, fixtureInput(m.dim), InferOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context must surface, got %v", err)
+	}
+
+	// An uncalibrated strategy fails typed, and Identify-free calls on
+	// the same model still work.
+	bare := New(testConfig(), 1)
+	bare.m, bare.k, bare.dim = m.m, m.k, m.dim
+	bare.clf = m.clf
+	if _, err := bare.Infer(context.Background(), fixtureInput(m.dim), InferOptions{Strategies: []OODStrategy{ED}}); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("uncalibrated strategy must fail with ErrNotCalibrated, got %v", err)
+	}
+	if _, err := bare.Infer(context.Background(), fixtureInput(m.dim), InferOptions{}); err != nil {
+		t.Fatalf("score-only Infer must still work uncalibrated: %v", err)
+	}
+}
+
+// TestInferReplicaReuse pins the free-list: sequential calls reuse one
+// replica instead of growing without bound.
+func TestInferReplicaReuse(t *testing.T) {
+	m := fixtureLoadedModel(t)
+	x := fixtureInput(m.dim)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Infer(context.Background(), x, InferOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.inferMu.Lock()
+	n := len(m.inferFree)
+	m.inferMu.Unlock()
+	if n != 1 {
+		t.Fatalf("sequential Infer calls left %d pooled replicas, want 1", n)
+	}
+}

@@ -206,6 +206,10 @@ func (mo *Model) IdentifyThreshold(s OODStrategy) (float64, bool) {
 // an instance is normal when Σ_{j=m+1..m+k} p_j > k/(m+k); otherwise
 // it is anomalous and the OOD strategy splits it into target
 // (ID-ness above the calibrated threshold) or non-target.
+//
+// Like Score, Identify is NOT safe for concurrent use on one Model;
+// concurrent callers go through Infer, which returns the identical
+// decisions.
 func (mo *Model) Identify(x *mat.Matrix, strat OODStrategy) ([]dataset.Kind, error) {
 	logits, err := mo.Logits(x)
 	if err != nil {

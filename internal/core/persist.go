@@ -67,7 +67,13 @@ func readEnvelope(r io.Reader, wantKind string, maxVersion int, payload any) err
 		return fmt.Errorf("%w: file is %s v%d, this build reads up to v%d",
 			ErrUnknownVersion, h.Kind, h.Version, maxVersion)
 	}
-	return dec.Decode(payload)
+	if err := dec.Decode(payload); err != nil {
+		// A payload that dies mid-gob (truncated file, corrupted
+		// stream) is as unreadable as a wrong-magic one; keep the
+		// typed error so callers need only one check.
+		return fmt.Errorf("%w (payload: %v)", ErrBadFormat, err)
+	}
+	return nil
 }
 
 // savedModel is the gob wire format of a trained TargAD model: the

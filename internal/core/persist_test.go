@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
 )
 
@@ -68,5 +69,116 @@ func TestSaveUnfittedErrors(t *testing.T) {
 func TestLoadGarbageErrors(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
 		t.Fatal("loading garbage must error")
+	}
+}
+
+// validSaveBytes returns a well-formed model save stream without
+// training: envelope plus a minimal hand-built payload.
+func validSaveBytes(t *testing.T) []byte {
+	t.Helper()
+	s := savedModel{
+		M: 1, K: 1, Dim: 2,
+		ClfHidden:  []int{3},
+		Thresholds: map[int]float64{int(MSP): 0.5},
+		Params: [][]float64{
+			make([]float64, 2*3), make([]float64, 3), // dense 2x3
+			make([]float64, 3*2), make([]float64, 2), // dense 3x2
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeEnvelope(&buf, kindModel, modelFormatVersion, &s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("hand-built save must load cleanly: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadTruncatedStream feeds Load every strict prefix of a valid
+// save file: a stream cut mid-gob — inside the header or inside the
+// payload — must surface ErrBadFormat and must never panic.
+func TestLoadTruncatedStream(t *testing.T) {
+	raw := validSaveBytes(t)
+	for n := 0; n < len(raw); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on %d/%d-byte prefix: %v", n, len(raw), r)
+				}
+			}()
+			_, err := Load(bytes.NewReader(raw[:n]))
+			if err == nil {
+				t.Fatalf("Load accepted a %d/%d-byte prefix", n, len(raw))
+			}
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("%d-byte prefix: error is not ErrBadFormat: %v", n, err)
+			}
+		}()
+	}
+}
+
+// TestLoadWrongKindTyped: a checkpoint stream handed to Load is "not a
+// model file" — ErrBadFormat, not a gob mismatch deep in the payload.
+func TestLoadWrongKindTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeEnvelope(&buf, kindCheckpoint, checkpointFormatVersion, &checkpointFile{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("wrong kind must surface ErrBadFormat, got %v", err)
+	}
+	if errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("wrong kind must not read as a version problem: %v", err)
+	}
+}
+
+// TestLoadOversizedVersion: version numbers far beyond what this build
+// writes — a file from the future — fail with ErrUnknownVersion.
+func TestLoadOversizedVersion(t *testing.T) {
+	for _, v := range []int{modelFormatVersion + 1, 1 << 30, -3, 0} {
+		var buf bytes.Buffer
+		if err := writeEnvelope(&buf, kindModel, v, &savedModel{M: 1, K: 1, Dim: 1}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if v >= 1 {
+			if !errors.Is(err, ErrUnknownVersion) {
+				t.Fatalf("version %d must surface ErrUnknownVersion, got %v", v, err)
+			}
+		} else if err == nil {
+			t.Fatalf("version %d must be rejected", v)
+		}
+	}
+}
+
+// TestLoadCorruptPayloadMetadata: a structurally valid gob whose
+// metadata is nonsense must fail the validation, never build a model.
+func TestLoadCorruptPayloadMetadata(t *testing.T) {
+	cases := []savedModel{
+		{M: 0, K: 1, Dim: 1},
+		{M: 1, K: -2, Dim: 4},
+		{M: 1, K: 1, Dim: 0},
+		{M: 1, K: 1, Dim: 2, ClfHidden: []int{3}, Params: [][]float64{{1}}},                                         // wrong tensor count
+		{M: 1, K: 1, Dim: 2, ClfHidden: []int{3}, Params: [][]float64{{1}, {1}, {1}, {1}}},                          // wrong tensor sizes
+		{M: 1, K: 1, Dim: 2, ClfHidden: []int{0}, Params: [][]float64{make([]float64, 6), {1, 1, 1}, {1, 1}, {1}}},  // zero hidden width
+		{M: 1, K: 1, Dim: 2, ClfHidden: []int{-4}, Params: [][]float64{make([]float64, 6), {1, 1, 1}, {1, 1}, {1}}}, // negative hidden width
+	}
+	for i, s := range cases {
+		var buf bytes.Buffer
+		if err := writeEnvelope(&buf, kindModel, modelFormatVersion, &s); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("case %d: Load panicked: %v", i, r)
+				}
+			}()
+			if _, err := Load(&buf); err == nil {
+				t.Fatalf("case %d: corrupt metadata must not load", i)
+			}
+		}()
 	}
 }

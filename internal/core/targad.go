@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"targad/internal/autoencoder"
 	"targad/internal/cluster"
@@ -143,6 +144,11 @@ type Model struct {
 
 	// Identification calibration (Section III-C).
 	idThreshold map[OODStrategy]float64
+
+	// Inference replica free-list (see infer.go): parameter-sharing
+	// classifier replicas backing the thread-safe Infer path.
+	inferMu   sync.Mutex
+	inferFree []*nn.MLP
 }
 
 // New returns an untrained TargAD model. Zero-valued numeric fields in
@@ -734,6 +740,9 @@ func argsortDesc(v []float64) []int {
 // returned matrix is the network's own output workspace: it is valid
 // until the next forward or training pass through this model, and
 // callers needing it longer must Clone it.
+//
+// Like Score and Probabilities, Logits is NOT safe for concurrent use
+// on one Model — use Infer for concurrent scoring.
 func (mo *Model) Logits(x *mat.Matrix) (*mat.Matrix, error) {
 	if mo.clf == nil {
 		return nil, errors.New("targad: model is not fitted")
@@ -745,6 +754,14 @@ func (mo *Model) Logits(x *mat.Matrix) (*mat.Matrix, error) {
 }
 
 // Probabilities returns softmax class probabilities (m+k columns).
+//
+// Concurrency contract: Probabilities runs the forward pass through
+// the classifier's layer-owned workspace buffers, so concurrent calls
+// on one Model race (and corrupt each other's outputs) even though
+// nothing in the signature suggests it. It is safe from one goroutine
+// at a time; concurrent callers — the serving layer above all — must
+// go through Infer, which scores on pooled parameter-sharing replicas
+// and returns bitwise-identical values.
 func (mo *Model) Probabilities(x *mat.Matrix) (*mat.Matrix, error) {
 	logits, err := mo.Logits(x)
 	if err != nil {
@@ -759,6 +776,12 @@ func (mo *Model) Probabilities(x *mat.Matrix) (*mat.Matrix, error) {
 // reduction all split the batch across the worker pool — and the
 // scores are bitwise identical for any worker count. Like Fit, it
 // converts internal panics into a *InternalError at the boundary.
+//
+// Concurrency contract: Score is NOT safe for concurrent use on one
+// Model — the forward pass writes the classifier's layer-owned
+// workspaces (see internal/nn's buffer-ownership contract). Concurrent
+// scoring must use Infer, whose replica pool makes it safe and whose
+// scores are bitwise-identical to this method's.
 func (mo *Model) Score(ctx context.Context, x *mat.Matrix) (scores []float64, err error) {
 	defer recoverToError("score", &err)
 	if ctx != nil {

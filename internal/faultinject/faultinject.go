@@ -44,6 +44,15 @@ const (
 	// CheckpointWrite fails a training-checkpoint write
 	// (internal/core), modeling a full or broken disk.
 	CheckpointWrite = "core/checkpoint-write"
+	// ServeSlowScore delays one serving batch's inference pass by the
+	// armed duration (internal/serve), modeling a slow handler — the
+	// load-shedding suite uses it to saturate the request queue
+	// deterministically.
+	ServeSlowScore = "serve/slow-score"
+	// ServeReloadFail fails a model hot-reload (internal/serve) before
+	// the swap, modeling a corrupt or unreadable model file; the old
+	// model must keep serving.
+	ServeReloadFail = "serve/reload-fail"
 )
 
 // enabled is the global fast path: false whenever no point is armed,

@@ -118,6 +118,37 @@ func (m *MLP) NumParams() int {
 	return n
 }
 
+// ShareParams returns an inference replica of m: a new MLP whose
+// layers reference the receiver's *Param tensors (no weights are
+// copied) but own fresh workspace buffers. Concurrent Forward calls on
+// distinct replicas of one network are therefore safe, and — because
+// the parameter data is byte-for-byte shared and every kernel is
+// deterministic — produce bitwise-identical outputs to the original.
+//
+// The replica is for inference. Backward on a replica accumulates into
+// the SHARED gradient buffers, so concurrent Backward (or training the
+// original while replicas are live) is a data race. Replicas are
+// cheap: per Dense layer they allocate only the layer header; the
+// workspaces grow lazily on first Forward.
+func (m *MLP) ShareParams() *MLP {
+	r := &MLP{Layers: make([]Layer, 0, len(m.Layers))}
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			d := &Dense{In: t.In, Out: t.Out, W: t.W, B: t.B}
+			d.params = []*Param{d.W, d.B}
+			d.wView = mat.Matrix{Rows: t.In, Cols: t.Out, Data: t.W.Data}
+			d.gwView = mat.Matrix{Rows: t.In, Cols: t.Out, Data: t.W.Grad}
+			r.Layers = append(r.Layers, d)
+		case *ActLayer:
+			r.Layers = append(r.Layers, NewAct(t.Act))
+		default:
+			panic(fmt.Sprintf("nn: ShareParams: unsupported layer type %T", l))
+		}
+	}
+	return r
+}
+
 // savedMLP is the gob wire format: parameter payloads only. Topology
 // must be reconstructed by the caller before Load.
 type savedMLP struct {

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/rng"
+)
+
+func shareTestNet(t *testing.T) *MLP {
+	t.Helper()
+	m, err := NewMLP(MLPConfig{Dims: []int{12, 8, 5}, Hidden: ReLU, Output: Identity, Init: HeNormal}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func shareTestBatch(rows, cols int, seed int64) *mat.Matrix {
+	r := rng.New(seed)
+	x := mat.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	return x
+}
+
+func TestShareParamsForwardIdentical(t *testing.T) {
+	m := shareTestNet(t)
+	x := shareTestBatch(9, 12, 11)
+	want := m.Forward(x).Clone()
+
+	r := m.ShareParams()
+	got := r.Forward(x)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("replica output %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("replica output differs at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// Same parameter tensors, no copies.
+	mp, rp := m.Params(), r.Params()
+	if len(mp) != len(rp) {
+		t.Fatalf("replica has %d params, original %d", len(rp), len(mp))
+	}
+	for i := range mp {
+		if mp[i] != rp[i] {
+			t.Fatalf("param %d is not shared", i)
+		}
+	}
+	// Distinct workspaces: the replica's forward must not clobber a
+	// buffer the original still owns.
+	if r.Forward(x) == m.Forward(x) {
+		t.Fatal("replica and original share a forward workspace")
+	}
+}
+
+// TestShareParamsConcurrentForward races many replicas of one network
+// forwarding different batches at once; under -race this pins the
+// thread-safety contract, and in any mode it pins bitwise identity of
+// every replica's output with the original's.
+func TestShareParamsConcurrentForward(t *testing.T) {
+	m := shareTestNet(t)
+	const goroutines = 8
+	batches := make([]*mat.Matrix, goroutines)
+	wants := make([]*mat.Matrix, goroutines)
+	for g := range batches {
+		batches[g] = shareTestBatch(4+g, 12, int64(100+g))
+		wants[g] = m.Forward(batches[g]).Clone()
+	}
+	var wg sync.WaitGroup
+	errs := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := m.ShareParams()
+			for iter := 0; iter < 20; iter++ {
+				out := r.Forward(batches[g])
+				for i := range wants[g].Data {
+					if out.Data[i] != wants[g].Data[i] {
+						errs[g] = "concurrent replica output diverged from serial forward"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("goroutine %d: %s", g, e)
+		}
+	}
+}

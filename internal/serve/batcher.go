@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/faultinject"
+	"targad/internal/mat"
+)
+
+// job is one scoring request queued for the micro-batching dispatcher.
+type job struct {
+	x *mat.Matrix
+	// identify requests the 3-way decision with strategy; strict marks
+	// the strategy as client-chosen, so a missing calibration fails the
+	// request instead of silently omitting decisions.
+	identify bool
+	strict   bool
+	strategy core.OODStrategy
+	probs    bool
+	resp     chan jobResult // buffered (1); the dispatcher never blocks
+}
+
+// jobResult is the dispatcher's answer for one job. Slices view the
+// batch-level result arrays and are read-only after send.
+type jobResult struct {
+	scores  []float64
+	kinds   []dataset.Kind // nil when identification was skipped
+	probs   *mat.Matrix    // nil unless requested; rows for this job only
+	version int64
+	err     error
+}
+
+// errDraining fails jobs still queued when the server shuts down.
+var errDraining = errors.New("serve: server shutting down")
+
+// errStrategyNotCalibrated fails strict jobs whose strategy the served
+// model has no threshold for.
+var errStrategyNotCalibrated = errors.New("serve: identification strategy not calibrated on the served model")
+
+// dispatch is the micro-batching loop: one goroutine drains the queue,
+// coalesces up to MaxBatch rows (waiting at most MaxWait from the
+// first job), and runs a single inference pass per batch so the
+// blocked GEMM amortizes across concurrent requests.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		var first *job
+		select {
+		case first = <-s.queue:
+		case <-s.done:
+			s.drainQueue()
+			return
+		}
+		jobs := s.collectBatch(first)
+		s.runBatch(jobs)
+	}
+}
+
+// collectBatch gathers jobs after the first until the batch holds
+// MaxBatch rows or MaxWait elapses. Jobs already queued are taken
+// without waiting, so a saturated queue forms full batches instantly.
+func (s *Server) collectBatch(first *job) []*job {
+	jobs := []*job{first}
+	rows := first.x.Rows
+	// Fast drain: whatever is queued right now joins for free.
+	for rows < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			jobs = append(jobs, j)
+			rows += j.x.Rows
+			continue
+		default:
+		}
+		break
+	}
+	if rows >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
+		return jobs
+	}
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for rows < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			jobs = append(jobs, j)
+			rows += j.x.Rows
+		case <-timer.C:
+			return jobs
+		case <-s.done:
+			return jobs
+		}
+	}
+	return jobs
+}
+
+// drainQueue answers every still-queued job with errDraining so no
+// handler is left waiting after shutdown.
+func (s *Server) drainQueue() {
+	for {
+		select {
+		case j := <-s.queue:
+			j.resp <- jobResult{err: errDraining}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch scores one coalesced batch and fans results back out to the
+// member jobs. The model pointer is captured once, so a hot-reload
+// racing this batch lets it finish on the model it started with.
+func (s *Server) runBatch(jobs []*job) {
+	lm := s.cur.Load()
+	if lm == nil {
+		for _, j := range jobs {
+			j.resp <- jobResult{err: errors.New("serve: no model loaded")}
+		}
+		return
+	}
+
+	// Jobs whose width disagrees with the first job's cannot share its
+	// GEMM pass; fail them individually (the model's own dim check
+	// still guards the survivors).
+	cols := jobs[0].x.Cols
+	batch := jobs[:0]
+	var rows int
+	for _, j := range jobs {
+		if j.x.Cols != cols {
+			j.resp <- jobResult{err: errors.New("serve: instance width differs from batch")}
+			continue
+		}
+		batch = append(batch, j)
+		rows += j.x.Rows
+	}
+	if len(batch) == 0 {
+		return
+	}
+
+	x := batch[0].x
+	if len(batch) > 1 {
+		x = mat.New(rows, cols)
+		off := 0
+		for _, j := range batch {
+			copy(x.Data[off:], j.x.Data)
+			off += len(j.x.Data)
+		}
+	}
+
+	res, version, err := s.infer(lm, x, batch)
+	if err != nil {
+		for _, j := range batch {
+			j.resp <- jobResult{err: err}
+		}
+		return
+	}
+
+	off := 0
+	for _, j := range batch {
+		n := j.x.Rows
+		out := jobResult{scores: res.Scores[off : off+n : off+n], version: version}
+		if j.identify {
+			if kinds, ok := res.Kinds[j.strategy]; ok {
+				out.kinds = kinds[off : off+n : off+n]
+			} else if j.strict {
+				out = jobResult{err: errStrategyNotCalibrated, version: version}
+			}
+		}
+		if j.probs && out.err == nil {
+			out.probs = &mat.Matrix{Rows: n, Cols: res.Probs.Cols, Data: res.Probs.Data[off*res.Probs.Cols : (off+n)*res.Probs.Cols]}
+		}
+		j.resp <- out
+		off += n
+	}
+}
+
+// infer runs the batch's single thread-safe inference pass, computing
+// the union of the member jobs' needs (calibrated strategies,
+// probabilities) in one forward.
+func (s *Server) infer(lm *loadedModel, x *mat.Matrix, batch []*job) (*core.InferResult, int64, error) {
+	opt := core.InferOptions{}
+	seen := map[core.OODStrategy]bool{}
+	for _, j := range batch {
+		if j.probs {
+			opt.Probs = true
+		}
+		if j.identify && !seen[j.strategy] {
+			seen[j.strategy] = true
+			if _, ok := lm.model.IdentifyThreshold(j.strategy); ok {
+				opt.Strategies = append(opt.Strategies, j.strategy)
+			}
+		}
+	}
+
+	faultinject.Sleep(faultinject.ServeSlowScore)
+	res, err := lm.model.Infer(nil, x, opt)
+	if err != nil {
+		return nil, lm.version, err
+	}
+	s.metrics.batches.Add(1)
+	s.metrics.batchRows.Add(int64(x.Rows))
+	s.metrics.rows.Add(int64(x.Rows))
+	return res, lm.version, nil
+}

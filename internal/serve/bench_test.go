@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"targad/internal/core"
+)
+
+// BenchmarkServeScore measures end-to-end serving throughput/latency
+// over real HTTP for 1 vs N concurrent clients with micro-batching off
+// (MaxBatch=1: every request is its own inference pass on the replica
+// pool) and on (requests coalesce into shared Probabilities passes so
+// the blocked GEMM amortizes across clients). Recorded to
+// BENCH_PR4.json by scripts/bench_baseline.sh.
+func BenchmarkServeScore(b *testing.B) {
+	model := loadFixtureModel(b)
+	payload, err := json.Marshal(scoreRequest{Instances: testRows(4, 123), Strategy: "ED"})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, batching := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"batch=off", Config{MaxBatch: 1, Strategy: core.ED}},
+		{"batch=on", Config{MaxBatch: 64, MaxWait: 500 * time.Microsecond, QueueDepth: 1024, Strategy: core.ED}},
+	} {
+		for _, clients := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/clients=%d", batching.name, clients), func(b *testing.B) {
+				s, err := New(batching.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				s.SetModel(model, "bench")
+				ts := httptest.NewServer(s.Handler())
+				defer ts.Close()
+
+				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / clients
+				extra := b.N % clients
+				for c := 0; c < clients; c++ {
+					n := per
+					if c < extra {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							resp, err := client.Post(ts.URL+"/score", "application/json", bytes.NewReader(payload))
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							_, _ = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							if resp.StatusCode != http.StatusOK {
+								b.Errorf("status %d", resp.StatusCode)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the fixed upper bounds (seconds) of the request
+// latency histogram, chosen to straddle both the sub-millisecond
+// direct path and batching-window latencies.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// metrics is the server's observability state: lock-free counters
+// bumped on the hot path and rendered on demand as Prometheus text
+// exposition format by the /metrics handler.
+type metrics struct {
+	requests     atomic.Int64 // scoring requests accepted (any outcome)
+	requestOK    atomic.Int64 // scoring requests answered 200
+	requestErrs  atomic.Int64 // scoring requests answered 4xx/5xx (shed excluded)
+	shed         atomic.Int64 // scoring requests shed with 429
+	rows         atomic.Int64 // instance rows scored
+	batches      atomic.Int64 // inference passes run
+	batchRows    atomic.Int64 // rows across all passes (avg batch = batchRows/batches)
+	reloads      atomic.Int64 // successful model reloads
+	reloadErrs   atomic.Int64 // failed model reloads
+	inFlight     atomic.Int64 // scoring requests currently being handled
+	latencySumNs atomic.Int64 // total request latency
+	latencyCount atomic.Int64
+	latencyBkt   [13]atomic.Int64 // one per bucket bound, last is +Inf
+}
+
+// observeLatency records one request's wall time into the histogram.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.latencySumNs.Add(int64(d))
+	m.latencyCount.Add(1)
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			m.latencyBkt[i].Add(1)
+			return
+		}
+	}
+	m.latencyBkt[len(latencyBuckets)].Add(1)
+}
+
+// write renders the Prometheus text format. Gauges owned by the server
+// (queue depth, model version, readiness) are passed in so metrics
+// itself stays a plain counter bundle.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, modelVersion int64, ready bool) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("targad_serve_requests_total", "Scoring requests accepted for processing.", m.requests.Load())
+	counter("targad_serve_requests_ok_total", "Scoring requests answered successfully.", m.requestOK.Load())
+	counter("targad_serve_request_errors_total", "Scoring requests that failed (shed excluded).", m.requestErrs.Load())
+	counter("targad_serve_shed_total", "Scoring requests shed with 429 because the queue was full.", m.shed.Load())
+	counter("targad_serve_rows_total", "Instance rows scored.", m.rows.Load())
+	counter("targad_serve_batches_total", "Inference passes run (micro-batches plus direct calls).", m.batches.Load())
+	counter("targad_serve_batch_rows_total", "Rows across all inference passes.", m.batchRows.Load())
+	counter("targad_serve_reloads_total", "Successful model hot-reloads.", m.reloads.Load())
+	counter("targad_serve_reload_errors_total", "Failed model hot-reload attempts.", m.reloadErrs.Load())
+	gauge("targad_serve_in_flight", "Scoring requests currently in the handler.", m.inFlight.Load())
+	gauge("targad_serve_queue_depth", "Scoring jobs waiting in the batching queue.", int64(queueDepth))
+	gauge("targad_serve_queue_capacity", "Bound of the batching queue.", int64(queueCap))
+	gauge("targad_serve_model_version", "Generation counter of the served model (bumped per reload).", modelVersion)
+	readyVal := int64(0)
+	if ready {
+		readyVal = 1
+	}
+	gauge("targad_serve_ready", "1 when a model is loaded and the server accepts requests.", readyVal)
+
+	name := "targad_serve_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Request wall time from decode to response.\n# TYPE %s histogram\n", name, name)
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latencyBkt[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.latencyBkt[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(m.latencySumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, m.latencyCount.Load())
+}

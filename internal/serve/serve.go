@@ -1,0 +1,451 @@
+// Package serve is the online scoring service: an HTTP JSON front end
+// over a persisted TargAD model (internal/core's gob envelope) built
+// for sustained concurrent traffic.
+//
+// Architecture (DESIGN.md §8):
+//
+//   - Requests decode into jobs on a bounded queue. A full queue sheds
+//     the request with 429 and a Retry-After header instead of letting
+//     latency grow without bound.
+//   - A single dispatcher goroutine micro-batches queued jobs — up to
+//     MaxBatch rows, waiting at most MaxWait from the first job — into
+//     one core.Model.Infer pass, so the blocked GEMM amortizes across
+//     concurrent requests. With MaxBatch <= 1 the queue is bypassed and
+//     handlers score directly on the replica pool.
+//   - The served model lives behind an atomic pointer. Reload (POST
+//     /reload, or SIGHUP in cmd/targad-serve) loads the file into a
+//     fresh model and swaps the pointer; batches in flight finish on
+//     the model they started with, so a reload under load fails zero
+//     requests.
+//   - /healthz (liveness), /readyz (model loaded), /metrics
+//     (Prometheus text), /debug/vars (expvar), and optional
+//     /debug/pprof make the service observable.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"targad/internal/core"
+	"targad/internal/faultinject"
+	"targad/internal/mat"
+)
+
+// Config tunes the service. The zero value of every field has a usable
+// default applied by New.
+type Config struct {
+	// ModelPath is the saved-model file (core.Model.Save) served and
+	// re-read on every reload. Tests may leave it empty and install a
+	// model with SetModel.
+	ModelPath string
+
+	// MaxBatch is the most instance rows one inference pass carries;
+	// <= 1 disables micro-batching (default 64).
+	MaxBatch int
+	// MaxWait bounds how long an incomplete batch waits for more rows
+	// after its first job arrives (default 2ms; 0 means "take only
+	// what is already queued").
+	MaxWait time.Duration
+	// QueueDepth bounds the number of queued scoring jobs; a full
+	// queue sheds with 429 (default 256).
+	QueueDepth int
+	// RetryAfter is advertised on shed responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a request body (default 32 MiB).
+	MaxBodyBytes int64
+
+	// Strategy is the identification strategy applied when a request
+	// does not name one (default MSP). If the served model has no
+	// calibration for it, decisions are omitted with a warning instead
+	// of failing the request.
+	Strategy core.OODStrategy
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+
+	// Logf, when set, receives one line per lifecycle event (load,
+	// reload, shutdown). Nil discards.
+	Logf func(format string, v ...any)
+}
+
+// loadedModel is one immutable generation of the served model.
+type loadedModel struct {
+	model    *core.Model
+	version  int64
+	source   string
+	loadedAt time.Time
+}
+
+// Server is the scoring service. Create with New, mount Handler on an
+// http.Server, and Close on shutdown.
+type Server struct {
+	cfg     Config
+	cur     atomic.Pointer[loadedModel]
+	gen     atomic.Int64
+	queue   chan *job
+	metrics metrics
+	mux     *http.ServeMux
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	reloadMu sync.Mutex // serializes Reload/SetModel swaps
+}
+
+// New builds a Server from cfg, loading the initial model from
+// cfg.ModelPath when set, and starts the batching dispatcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	if cfg.ModelPath != "" {
+		if _, err := s.Reload(); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/score", s.handleScore)
+	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if cfg.MaxBatch > 1 {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ModelVersion returns the generation counter of the served model
+// (0 when none is loaded).
+func (s *Server) ModelVersion() int64 {
+	if lm := s.cur.Load(); lm != nil {
+		return lm.version
+	}
+	return 0
+}
+
+// SetModel installs m as the served model (tests, or embedders that
+// load models themselves) and returns the new generation.
+func (s *Server) SetModel(m *core.Model, source string) int64 {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	v := s.gen.Add(1)
+	s.cur.Store(&loadedModel{model: m, version: v, source: source, loadedAt: time.Now()})
+	return v
+}
+
+// Reload re-reads cfg.ModelPath and atomically swaps the served model.
+// On any failure — unreadable file, bad envelope, injected
+// serve/reload-fail fault — the current model keeps serving and the
+// error is returned. Batches already in flight finish on the model
+// they captured, so a reload under load fails no requests.
+func (s *Server) Reload() (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.cfg.ModelPath == "" {
+		return 0, errors.New("serve: no model path configured")
+	}
+	m, err := s.loadModelFile()
+	if err != nil {
+		s.metrics.reloadErrs.Add(1)
+		return 0, err
+	}
+	v := s.gen.Add(1)
+	s.cur.Store(&loadedModel{model: m, version: v, source: s.cfg.ModelPath, loadedAt: time.Now()})
+	s.metrics.reloads.Add(1)
+	s.cfg.Logf("serve: model v%d loaded from %s", v, s.cfg.ModelPath)
+	return v, nil
+}
+
+func (s *Server) loadModelFile() (*core.Model, error) {
+	if faultinject.Fire(faultinject.ServeReloadFail) {
+		return nil, errors.New("serve: reload failure injected")
+	}
+	f, err := os.Open(s.cfg.ModelPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload: %w", err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload: %w", err)
+	}
+	return m, nil
+}
+
+// Close stops the dispatcher and fails still-queued jobs. In-flight
+// HTTP handlers should be drained first (http.Server.Shutdown); Close
+// then releases anything still waiting on the queue.
+func (s *Server) Close() {
+	s.closing.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.drainQueue()
+	})
+}
+
+// ParseStrategy maps the API's strategy names (case-insensitive MSP,
+// ES, ED) to the core enum.
+func ParseStrategy(name string) (core.OODStrategy, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "MSP":
+		return core.MSP, true
+	case "ES":
+		return core.ES, true
+	case "ED":
+		return core.ED, true
+	default:
+		return 0, false
+	}
+}
+
+// scoreRequest is the /score JSON body.
+type scoreRequest struct {
+	// Instances is the feature matrix, one row per instance.
+	Instances [][]float64 `json:"instances"`
+	// Strategy optionally names the identification strategy (MSP, ES,
+	// ED); empty uses the server default.
+	Strategy string `json:"strategy,omitempty"`
+	// Probabilities requests the per-class probability rows.
+	Probabilities bool `json:"probabilities,omitempty"`
+}
+
+// scoreResponse is the /score JSON answer.
+type scoreResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	// Scores is S^tar per instance (Eq. 9), higher = more likely a
+	// target anomaly.
+	Scores []float64 `json:"scores"`
+	// Decisions is the 3-way call per instance: "normal", "target", or
+	// "non-target". Omitted (with a warning) when the served model has
+	// no calibration for the strategy.
+	Decisions []string `json:"decisions,omitempty"`
+	// Probabilities holds m+k class probabilities per instance when
+	// requested.
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+	Warning       string      `json:"warning,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	start := time.Now()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.requestErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	x, err := instancesMatrix(req.Instances)
+	if err != nil {
+		s.metrics.requestErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	strat := s.cfg.Strategy
+	strict := false
+	if req.Strategy != "" {
+		st, ok := ParseStrategy(req.Strategy)
+		if !ok {
+			s.metrics.requestErrs.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q (want MSP, ES, or ED)", req.Strategy)})
+			return
+		}
+		strat, strict = st, true
+	}
+	s.metrics.requests.Add(1)
+
+	j := &job{
+		x:        x,
+		identify: true,
+		strict:   strict,
+		strategy: strat,
+		probs:    req.Probabilities,
+		resp:     make(chan jobResult, 1),
+	}
+
+	var res jobResult
+	if s.cfg.MaxBatch > 1 {
+		select {
+		case s.queue <- j:
+		default:
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full, retry later"})
+			return
+		}
+		select {
+		case res = <-j.resp:
+		case <-r.Context().Done():
+			// The client is gone; the dispatcher's buffered send still
+			// completes, nothing leaks.
+			return
+		case <-s.done:
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
+			return
+		}
+	} else {
+		s.runBatch([]*job{j})
+		res = <-j.resp
+	}
+	s.writeScoreResult(w, res, start)
+}
+
+// writeScoreResult maps one jobResult to the HTTP response and records
+// request metrics.
+func (s *Server) writeScoreResult(w http.ResponseWriter, res jobResult, start time.Time) {
+	if res.err != nil {
+		s.metrics.requestErrs.Add(1)
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(res.err, errStrategyNotCalibrated):
+			status = http.StatusBadRequest
+		case errors.Is(res.err, errDraining):
+			status = http.StatusServiceUnavailable
+		case strings.Contains(res.err.Error(), "input dim"),
+			strings.Contains(res.err.Error(), "instance width"):
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{Error: res.err.Error()})
+		return
+	}
+	out := scoreResponse{ModelVersion: res.version, Scores: res.scores}
+	if res.kinds != nil {
+		out.Decisions = make([]string, len(res.kinds))
+		for i, k := range res.kinds {
+			out.Decisions[i] = k.String()
+		}
+	} else {
+		out.Warning = "decisions omitted: served model has no calibration for the default strategy"
+	}
+	if res.probs != nil {
+		out.Probabilities = make([][]float64, res.probs.Rows)
+		for i := range out.Probabilities {
+			out.Probabilities[i] = res.probs.Row(i)
+		}
+	}
+	s.metrics.requestOK.Add(1)
+	s.metrics.observeLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// instancesMatrix validates and packs the request rows.
+func instancesMatrix(rows [][]float64) (*mat.Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("instances must hold at least one row")
+	}
+	cols := len(rows[0])
+	if cols == 0 {
+		return nil, errors.New("instances rows must hold at least one feature")
+	}
+	x := mat.New(len(rows), cols)
+	for i, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("instances row %d has %d features, row 0 has %d", i, len(row), cols)
+		}
+		copy(x.Row(i), row)
+	}
+	return x, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	v, err := s.Reload()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"model_version": v})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.done:
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+	if s.cur.Load() == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	ready := s.cur.Load() != nil
+	select {
+	case <-s.done:
+		ready = false
+	default:
+	}
+	s.metrics.write(w, len(s.queue), cap(s.queue), s.ModelVersion(), ready)
+}

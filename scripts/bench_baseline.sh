@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Records a machine-readable perf baseline for the five worker-pool
 # benchmarks (MatMul, KMeans, AutoencoderEpoch, TargADFit,
-# TargADScore), capturing both ns/op and the allocation axis
-# (B/op, allocs/op) so the trajectory tracks the zero-allocation
-# training contract alongside raw speed.
+# TargADScore) plus the serving benchmark (ServeScore: end-to-end HTTP
+# throughput at 1 vs N concurrent clients, micro-batching off/on),
+# capturing both ns/op and the allocation axis (B/op, allocs/op) so
+# the trajectory tracks the zero-allocation training contract
+# alongside raw speed.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR2.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR4.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -27,7 +29,16 @@ if [ -n "$benchtime" ]; then
     args+=(-benchtime "$benchtime")
 fi
 
+# The serving benchmark drives its own client goroutines, so it is not
+# swept over -cpu; it runs once at the machine's GOMAXPROCS.
+serve_args=(test -run '^$' -bench 'BenchmarkServeScore'
+    -benchmem -timeout 30m ./internal/serve)
+if [ -n "$benchtime" ]; then
+    serve_args+=(-benchtime "$benchtime")
+fi
+
 raw="$(go "${args[@]}")"
+raw+=$'\n'"$(go "${serve_args[@]}")"
 echo "$raw" >&2
 
 echo "$raw" | awk \
@@ -59,8 +70,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 2,\n"
-    printf "  \"description\": \"blocked-GEMM + zero-allocation training loops: ns/op and allocs/op for the worker-pool benchmarks\",\n"
+    printf "  \"pr\": 4,\n"
+    printf "  \"description\": \"worker-pool benchmarks plus online serving (ServeScore: HTTP end-to-end, 1 vs N clients, micro-batching off/on)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

@@ -6,6 +6,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not gofmt-clean:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -17,19 +25,21 @@ go test ./...
 
 # Race smoke: exercise the worker-pool kernels (mat GEMMs including the
 # packed-buffer blocked paths, k-means assignment, softmax batching),
-# the nn layer-workspace reuse, and the concurrent per-cluster AE
-# training with a multi-worker pool under the race detector. The
-# zero-alloc assertions self-skip under -race (the instrumentation
-# allocates); the core package is scoped to its parallel-path
-# determinism tests to keep the smoke short — the full core suite
-# already ran above.
+# the nn layer-workspace reuse, the concurrent per-cluster AE training,
+# and the full serving stack (micro-batcher, replica-pool inference,
+# hot reload under load, shedding) with a multi-worker pool under the
+# race detector. The zero-alloc assertions self-skip under -race (the
+# instrumentation allocates); the core package is scoped to its
+# parallel-path determinism and concurrent-inference tests to keep the
+# smoke short — the full core suite already ran above.
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
-    ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn
+    ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn \
+    ./internal/serve
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
-    -run 'ParallelSerialIdentical' ./internal/core
+    -run 'ParallelSerialIdentical|TestInfer|TestShareParams' ./internal/core
 
 # Fault-injection suite: cancellation, checkpoint/resume equivalence,
 # NaN guards, worker panic/crash containment, and checkpoint write
@@ -45,6 +55,8 @@ TARGAD_WORKERS=4 go test -count=1 -run 'Fault|Crash|Panic|Slow' \
     ./internal/parallel
 go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalError' \
     ./internal/nn
+go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing' \
+    ./internal/serve
 
 # Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader (the
 # seed corpus always runs in the full suite; this explores beyond it).
