@@ -19,6 +19,13 @@
 // failed requests — in-flight batches finish on the model they
 // started with. /healthz, /readyz, /metrics (Prometheus text),
 // /debug/vars, and (with -pprof) /debug/pprof serve operations.
+//
+// Models saved by recent builds carry a training-time reference
+// profile; when present, the server tracks feature/score drift and
+// decision-mix deviation over a sliding window (GET /drift, /metrics
+// gauges; -drift-degrade fails /readyz on alarm). POST /reload?shadow=1
+// loads a candidate model that re-scores a sample of live traffic in
+// the background; POST /promote installs it, POST /discard drops it.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"targad/internal/buildinfo"
+	"targad/internal/monitor"
 	"targad/internal/parallel"
 	"targad/internal/serve"
 )
@@ -48,8 +56,15 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
 		strategy    = flag.String("strategy", "ED", "default identification strategy (MSP, ES, ED)")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		workers     = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
-		showVersion = flag.Bool("version", false, "print version and exit")
+
+		noMonitor     = flag.Bool("no-monitor", false, "disable drift monitoring even when the model carries a profile")
+		monitorWindow = flag.Int("monitor-window", 0, "drift window size in scored rows (0 = monitor default)")
+		driftWarn     = flag.Float64("drift-warn", 0, "PSI warn threshold (0 = monitor default)")
+		driftAlarm    = flag.Float64("drift-alarm", 0, "PSI alarm threshold (0 = monitor default)")
+		driftDegrade  = flag.Bool("drift-degrade", false, "fail /readyz with 503 while drift status is alarm")
+		shadowSample  = flag.Float64("shadow-sample", 0.25, "fraction of live batches a shadow model re-scores")
+		workers       = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
+		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -78,7 +93,15 @@ func main() {
 		RetryAfter:  *retryAfter,
 		Strategy:    strat,
 		EnablePprof: *enablePprof,
-		Logf:        log.Printf,
+		Monitor: monitor.Config{
+			WindowRows: *monitorWindow,
+			WarnPSI:    *driftWarn,
+			AlarmPSI:   *driftAlarm,
+		},
+		DisableMonitor: *noMonitor,
+		DriftDegrade:   *driftDegrade,
+		ShadowSample:   *shadowSample,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)

@@ -62,6 +62,38 @@ func versionFrom(bi *debug.BuildInfo) string {
 	return "devel"
 }
 
+// Revision returns the VCS revision the binary was built from (short
+// form, "-dirty" suffixed for modified trees), or "unknown" when the
+// toolchain embedded none — test binaries, GOFLAGS=-buildvcs=false.
+func Revision() string {
+	return revisionFrom(readBuildInfo())
+}
+
+// revisionFrom derives the revision from one build-info snapshot.
+func revisionFrom(bi *debug.BuildInfo) string {
+	if bi == nil {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
 // GoVersion returns the toolchain that built the binary ("" unknown).
 func GoVersion() string {
 	bi := readBuildInfo()

@@ -53,3 +53,35 @@ func TestVersionNeverEmpty(t *testing.T) {
 		t.Fatal("Version must never be empty")
 	}
 }
+
+func TestRevisionFrom(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		want string
+	}{
+		{"nil info", nil, "unknown"},
+		{"no vcs", &debug.BuildInfo{}, "unknown"},
+		{
+			"clean revision truncates",
+			&debug.BuildInfo{Settings: []debug.BuildSetting{{Key: "vcs.revision", Value: "0123456789abcdef"}}},
+			"0123456789ab",
+		},
+		{
+			"dirty tree",
+			&debug.BuildInfo{Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "feedface"},
+				{Key: "vcs.modified", Value: "true"},
+			}},
+			"feedface-dirty",
+		},
+	}
+	for _, tc := range cases {
+		if got := revisionFrom(tc.bi); got != tc.want {
+			t.Errorf("%s: revisionFrom = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if Revision() == "" {
+		t.Fatal("Revision must never be empty")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"targad/internal/monitor"
 	"targad/internal/nn"
 	"targad/internal/rng"
 )
@@ -24,7 +25,12 @@ const (
 	// modelFormatVersion is bumped whenever savedModel changes
 	// incompatibly; checkpointFormatVersion likewise for
 	// checkpointFile.
-	modelFormatVersion      = 1
+	//
+	// v1: classifier parameters, metadata, identification thresholds.
+	// v2: adds the optional monitoring reference profile (Profile
+	//     field). v1 files keep decoding — gob leaves the absent field
+	//     nil and monitoring disables itself gracefully.
+	modelFormatVersion      = 2
 	checkpointFormatVersion = 1
 )
 
@@ -87,6 +93,12 @@ type savedModel struct {
 	// cut.
 	Thresholds map[int]float64
 	Params     [][]float64
+
+	// Profile is the monitoring reference captured at Fit time
+	// (format v2+; nil in v1 files and for fits whose capture
+	// degenerated). A loaded profile that fails validation is dropped
+	// rather than failing the load — scoring never depends on it.
+	Profile *monitor.Profile
 }
 
 // Save serializes the trained classifier and scoring metadata inside
@@ -109,6 +121,7 @@ func (mo *Model) Save(w io.Writer) error {
 		ClfHidden:  hidden,
 		Thresholds: make(map[int]float64, len(mo.idThreshold)),
 		Params:     snapshotParams(mo.clf),
+		Profile:    mo.profile,
 	}
 	for strat, thr := range mo.idThreshold {
 		s.Thresholds[int(strat)] = thr
@@ -151,6 +164,9 @@ func Load(r io.Reader) (*Model, error) {
 	mo.clf = clf
 	for strat, thr := range s.Thresholds {
 		mo.idThreshold[OODStrategy(strat)] = thr
+	}
+	if s.Profile != nil && s.Profile.Validate() == nil && s.Profile.Dim() == s.Dim {
+		mo.profile = s.Profile
 	}
 	return mo, nil
 }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+
+	"targad/internal/dataset"
+	"targad/internal/monitor"
+)
+
+// profileBins is the histogram resolution of the reference profile
+// captured at Fit time (see internal/monitor).
+const profileBins = monitor.DefaultBins
+
+// captureProfile records the monitoring reference over the unlabeled
+// training pool: per-feature moments and histograms, the S^tar score
+// histogram, and the three-way decision mix per calibrated strategy.
+// It runs once at the end of a successful Fit; the profile travels
+// with the saved model (persist format v2) so the serving layer can
+// detect drift against exactly the distribution this model was
+// trained on. Capture is best-effort: a model that cannot score (or a
+// degenerate pool) simply ships without a profile and serving-time
+// monitoring disables itself.
+func (mo *Model) captureProfile(train *dataset.TrainSet) {
+	x := train.Unlabeled
+	scores, err := mo.Score(context.Background(), x)
+	if err != nil {
+		return
+	}
+	kinds := make(map[int][]dataset.Kind, len(mo.idThreshold))
+	for _, s := range OODStrategies() {
+		if _, ok := mo.idThreshold[s]; !ok {
+			continue
+		}
+		k, err := mo.Identify(x, s)
+		if err != nil {
+			continue
+		}
+		kinds[int(s)] = k
+	}
+	prior := float64(mo.k) / float64(mo.m+mo.k)
+	p, err := monitor.Capture(x, scores, kinds, prior, profileBins)
+	if err != nil {
+		return
+	}
+	mo.profile = p
+}
+
+// Profile returns the monitoring reference captured at Fit time (or
+// loaded from a v2 save file), nil when the model carries none —
+// models from v1 files, or fits whose capture degenerated. Serving
+// layers treat nil as "monitoring disabled".
+func (mo *Model) Profile() *monitor.Profile { return mo.profile }

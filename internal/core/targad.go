@@ -21,6 +21,7 @@ import (
 	"targad/internal/faultinject"
 	"targad/internal/mat"
 	"targad/internal/metrics"
+	"targad/internal/monitor"
 	"targad/internal/nn"
 	"targad/internal/parallel"
 	"targad/internal/rng"
@@ -145,6 +146,10 @@ type Model struct {
 	// Identification calibration (Section III-C).
 	idThreshold map[OODStrategy]float64
 
+	// Monitoring reference captured at the end of Fit (see
+	// profile.go); persisted with the model, nil when absent.
+	profile *monitor.Profile
+
 	// Inference replica free-list (see infer.go): parameter-sharing
 	// classifier replicas backing the thread-safe Infer path.
 	inferMu   sync.Mutex
@@ -246,6 +251,7 @@ func (mo *Model) Fit(ctx context.Context, train *dataset.TrainSet) (err error) {
 	if err := mo.trainClassifier(ctx, train, r, ck); err != nil {
 		return err
 	}
+	mo.captureProfile(train)
 	if ck != nil {
 		ck.finish()
 	}

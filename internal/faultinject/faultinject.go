@@ -53,6 +53,11 @@ const (
 	// the swap, modeling a corrupt or unreadable model file; the old
 	// model must keep serving.
 	ServeReloadFail = "serve/reload-fail"
+	// ServeDriftTraffic shifts every feature of a scoring request by
+	// the armed value (internal/serve), modeling upstream data drift —
+	// the monitoring suite uses it to push the live windows away from
+	// the model's reference profile deterministically.
+	ServeDriftTraffic = "serve/drift-traffic"
 )
 
 // enabled is the global fast path: false whenever no point is armed,
@@ -69,7 +74,8 @@ type point struct {
 	skip      int64 // hits to let pass before firing
 	remaining int64 // firings left; <0 means unlimited
 	delay     time.Duration
-	fired     int64 // total times this point fired
+	value     float64 // payload for Value probes (ArmValue)
+	fired     int64   // total times this point fired
 }
 
 // Arm arms a point to fire on its next `times` hits (times < 0 arms it
@@ -91,6 +97,16 @@ func ArmDelay(name string, d time.Duration, times int) {
 	mu.Lock()
 	defer mu.Unlock()
 	points[name] = &point{remaining: int64(times), delay: d}
+	enabled.Store(true)
+}
+
+// ArmValue arms a point that carries a float payload to its probe for
+// each of its next `times` hits (times < 0 means every hit). Value
+// probes such as ServeDriftTraffic read the payload via Value.
+func ArmValue(name string, v float64, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{remaining: int64(times), value: v}
 	enabled.Store(true)
 }
 
@@ -142,6 +158,19 @@ func Sleep(name string) {
 	if d := Delay(name); d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// Value returns the armed payload and true when the named point fires
+// at this hit, or (0, false). Like every probe it is a single atomic
+// load when nothing is armed.
+func Value(name string) (float64, bool) {
+	if !enabled.Load() {
+		return 0, false
+	}
+	if p := fire(name); p != nil {
+		return p.value, true
+	}
+	return 0, false
 }
 
 // Fired returns how many times the named point has fired since it was

@@ -92,6 +92,30 @@ func TestArmDelay(t *testing.T) {
 	}
 }
 
+func TestArmValue(t *testing.T) {
+	t.Cleanup(Reset)
+	if _, ok := Value(ServeDriftTraffic); ok {
+		t.Fatal("unarmed value point must not fire")
+	}
+	ArmValue(ServeDriftTraffic, 0.75, 2)
+	for i := 0; i < 2; i++ {
+		v, ok := Value(ServeDriftTraffic)
+		if !ok || v != 0.75 {
+			t.Fatalf("hit %d: got (%v, %v), want (0.75, true)", i, v, ok)
+		}
+	}
+	if _, ok := Value(ServeDriftTraffic); ok {
+		t.Fatal("value point armed for 2 hits fired a third time")
+	}
+	// Unlimited arming keeps delivering the payload.
+	ArmValue(ServeDriftTraffic, -1.5, -1)
+	for i := 0; i < 50; i++ {
+		if v, ok := Value(ServeDriftTraffic); !ok || v != -1.5 {
+			t.Fatalf("unlimited hit %d: got (%v, %v)", i, v, ok)
+		}
+	}
+}
+
 func TestConcurrentFireCountsExactly(t *testing.T) {
 	t.Cleanup(Reset)
 	const armed = 64

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Drift statistics over binned distributions. The live-monitoring
+// subsystem (internal/monitor) compares a serving-time window of
+// feature values, S^tar scores, and three-way decisions against the
+// reference profile captured at Fit time; these helpers implement the
+// comparisons. All three take histograms (counts or proportions — they
+// normalize internally) over identical bin edges.
+
+// psiFloor is the proportion floor applied before the PSI log ratio:
+// an empty bin on either side would make the index infinite, while the
+// classic remedy — flooring at a small constant — keeps PSI finite and
+// monotone in the underlying shift.
+const psiFloor = 1e-4
+
+var errEmptyHistogram = errors.New("metrics: histogram has no mass")
+
+// normalizeHist validates one histogram and returns its proportions.
+func normalizeHist(h []float64) ([]float64, error) {
+	var sum float64
+	for i, v := range h {
+		if math.IsNaN(v) || v < 0 {
+			return nil, fmt.Errorf("metrics: invalid histogram mass %v at bin %d", v, i)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return nil, errEmptyHistogram
+	}
+	out := make([]float64, len(h))
+	for i, v := range h {
+		out[i] = v / sum
+	}
+	return out, nil
+}
+
+func checkPair(ref, cur []float64) error {
+	if len(ref) == 0 {
+		return errors.New("metrics: empty histogram")
+	}
+	if len(ref) != len(cur) {
+		return fmt.Errorf("metrics: %d reference bins vs %d current", len(ref), len(cur))
+	}
+	return nil
+}
+
+// PSI returns the population stability index between a reference and a
+// current distribution over the same bins:
+//
+//	PSI = Σ_i (c_i − r_i) · ln(c_i / r_i)
+//
+// after normalizing both to proportions and flooring each bin at 1e-4.
+// PSI is 0 iff the (floored) distributions match and grows without
+// sign as they diverge; the conventional reading is < 0.1 stable,
+// 0.1–0.25 moderate shift, > 0.25 major shift.
+func PSI(ref, cur []float64) (float64, error) {
+	if err := checkPair(ref, cur); err != nil {
+		return 0, err
+	}
+	r, err := normalizeHist(ref)
+	if err != nil {
+		return 0, fmt.Errorf("%w (reference)", err)
+	}
+	c, err := normalizeHist(cur)
+	if err != nil {
+		return 0, fmt.Errorf("%w (current)", err)
+	}
+	var psi float64
+	for i := range r {
+		ri, ci := r[i], c[i]
+		if ri < psiFloor {
+			ri = psiFloor
+		}
+		if ci < psiFloor {
+			ci = psiFloor
+		}
+		psi += (ci - ri) * math.Log(ci/ri)
+	}
+	return psi, nil
+}
+
+// KSFromHistograms returns the two-sample Kolmogorov–Smirnov statistic
+// — the maximum absolute difference between the two empirical CDFs —
+// computed from histograms over identical bin edges. Binning coarsens
+// the exact statistic, but with the same fixed edges on both sides the
+// coarsened value remains a metric in [0, 1] and is what the drift
+// monitor thresholds.
+func KSFromHistograms(ref, cur []float64) (float64, error) {
+	if err := checkPair(ref, cur); err != nil {
+		return 0, err
+	}
+	r, err := normalizeHist(ref)
+	if err != nil {
+		return 0, fmt.Errorf("%w (reference)", err)
+	}
+	c, err := normalizeHist(cur)
+	if err != nil {
+		return 0, fmt.Errorf("%w (current)", err)
+	}
+	var ks, cr, cc float64
+	for i := range r {
+		cr += r[i]
+		cc += c[i]
+		if d := math.Abs(cr - cc); d > ks {
+			ks = d
+		}
+	}
+	return ks, nil
+}
+
+// TotalVariation returns the total variation distance
+// ½·Σ_i |r_i − c_i| between two distributions over the same support,
+// normalized to proportions first. It is the drift monitor's measure
+// of decision-mix deviation: 0 for identical mixes, 1 for disjoint
+// ones.
+func TotalVariation(ref, cur []float64) (float64, error) {
+	if err := checkPair(ref, cur); err != nil {
+		return 0, err
+	}
+	r, err := normalizeHist(ref)
+	if err != nil {
+		return 0, fmt.Errorf("%w (reference)", err)
+	}
+	c, err := normalizeHist(cur)
+	if err != nil {
+		return 0, fmt.Errorf("%w (current)", err)
+	}
+	var tv float64
+	for i := range r {
+		tv += math.Abs(r[i] - c[i])
+	}
+	return tv / 2, nil
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSIIdenticalIsZero(t *testing.T) {
+	h := []float64{5, 10, 20, 40, 20, 5}
+	psi, err := PSI(h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi != 0 {
+		t.Fatalf("PSI(h, h) = %v, want 0", psi)
+	}
+}
+
+func TestPSIGrowsWithShift(t *testing.T) {
+	ref := []float64{0.25, 0.25, 0.25, 0.25}
+	small := []float64{0.30, 0.25, 0.25, 0.20}
+	big := []float64{0.70, 0.10, 0.10, 0.10}
+	p1, err := PSI(ref, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PSI(ref, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p1 > 0 && p2 > p1) {
+		t.Fatalf("PSI must grow with the shift: small=%v big=%v", p1, p2)
+	}
+}
+
+func TestPSIEmptyBinStaysFinite(t *testing.T) {
+	ref := []float64{10, 10, 10, 0}
+	cur := []float64{0, 0, 0, 30}
+	psi, err := PSI(ref, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(psi, 0) || math.IsNaN(psi) {
+		t.Fatalf("floored PSI must stay finite, got %v", psi)
+	}
+	if psi < 1 {
+		t.Fatalf("disjoint histograms must read as a major shift, got %v", psi)
+	}
+}
+
+func TestPSIScaleInvariant(t *testing.T) {
+	ref := []float64{3, 9, 6, 2}
+	cur := []float64{8, 2, 4, 6}
+	a, err := PSI(ref, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]float64, len(cur))
+	for i, v := range cur {
+		scaled[i] = 17 * v
+	}
+	b, err := PSI(ref, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("PSI must normalize counts: %v vs %v", a, b)
+	}
+}
+
+func TestKSIdenticalAndDisjoint(t *testing.T) {
+	h := []float64{1, 2, 3, 4}
+	ks, err := KSFromHistograms(h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != 0 {
+		t.Fatalf("KS(h, h) = %v, want 0", ks)
+	}
+	ks, err = KSFromHistograms([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != 1 {
+		t.Fatalf("KS of disjoint histograms = %v, want 1", ks)
+	}
+}
+
+func TestTotalVariationBounds(t *testing.T) {
+	if tv, err := TotalVariation([]float64{1, 0, 0}, []float64{0, 0, 1}); err != nil || tv != 1 {
+		t.Fatalf("TV of disjoint = %v (%v), want 1", tv, err)
+	}
+	if tv, err := TotalVariation([]float64{2, 2}, []float64{5, 5}); err != nil || tv != 0 {
+		t.Fatalf("TV of proportional = %v (%v), want 0", tv, err)
+	}
+}
+
+func TestDriftErrorPaths(t *testing.T) {
+	if _, err := PSI(nil, nil); err == nil {
+		t.Fatal("empty histograms must error")
+	}
+	if _, err := PSI([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched bins must error")
+	}
+	if _, err := PSI([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("zero-mass current must error")
+	}
+	if _, err := KSFromHistograms([]float64{-1, 2}, []float64{1, 1}); err == nil {
+		t.Fatal("negative mass must error")
+	}
+	if _, err := TotalVariation([]float64{math.NaN(), 1}, []float64{1, 1}); err == nil {
+		t.Fatal("NaN mass must error")
+	}
+}
+
+// Property: all three statistics are non-negative, KS and TV stay in
+// [0, 1], and every one of them is exactly 0 on identical inputs.
+func TestDriftStatisticProperties(t *testing.T) {
+	f := func(raw [8]uint8, raw2 [8]uint8) bool {
+		ref := make([]float64, 8)
+		cur := make([]float64, 8)
+		for i := range ref {
+			ref[i] = float64(raw[i])
+			cur[i] = float64(raw2[i])
+		}
+		ref[0]++ // guarantee mass on both sides
+		cur[0]++
+		psi, err := PSI(ref, cur)
+		if err != nil || psi < 0 {
+			return false
+		}
+		ks, err := KSFromHistograms(ref, cur)
+		if err != nil || ks < 0 || ks > 1 {
+			return false
+		}
+		tv, err := TotalVariation(ref, cur)
+		if err != nil || tv < 0 || tv > 1 {
+			return false
+		}
+		// KS lower-bounds nothing here, but TV upper-bounds KS on
+		// shared bins: |CDF difference| ≤ Σ|p−q|/2·2.
+		self, err := PSI(ref, ref)
+		return err == nil && self == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package monitor
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds heap allocations that break the zero-alloc
+// hot-path assertions.
+const raceEnabled = true

@@ -194,6 +194,14 @@ func (s *Server) infer(lm *loadedModel, x *mat.Matrix, batch []*job) (*core.Infe
 	}
 
 	faultinject.Sleep(faultinject.ServeSlowScore)
+	if v, ok := faultinject.Value(faultinject.ServeDriftTraffic); ok {
+		// Injected upstream data drift: shift every feature of the
+		// batch before scoring, so the drift windows see it exactly as
+		// real shifted traffic.
+		for i := range x.Data {
+			x.Data[i] += v
+		}
+	}
 	res, err := lm.model.Infer(nil, x, opt)
 	if err != nil {
 		return nil, lm.version, err
@@ -201,5 +209,14 @@ func (s *Server) infer(lm *loadedModel, x *mat.Matrix, batch []*job) (*core.Infe
 	s.metrics.batches.Add(1)
 	s.metrics.batchRows.Add(int64(x.Rows))
 	s.metrics.rows.Add(int64(x.Rows))
+
+	// Feed the drift window and (when active) the shadow evaluation.
+	// Both read the batch results after the fact: zero allocations and
+	// no extra work on the reply path.
+	kinds := res.Kinds[s.cfg.Strategy]
+	if lm.mon != nil {
+		lm.mon.Observe(x, res.Scores, kinds)
+	}
+	s.maybeShadow(x, res.Scores, kinds)
 	return res, lm.version, nil
 }

@@ -21,7 +21,23 @@ import (
 // the blocked GEMM amortizes across clients). Recorded to
 // BENCH_PR4.json by scripts/bench_baseline.sh.
 func BenchmarkServeScore(b *testing.B) {
-	model := loadFixtureModel(b)
+	benchServeScore(b, loadFixtureModel(b))
+}
+
+// BenchmarkServeScoreMonitored is the same workload over the v2
+// fixture, whose persisted profile arms the drift accumulator — the
+// delta against BenchmarkServeScore is the monitoring overhead
+// (budget: 0 extra allocs/op, <=5% latency). Recorded to
+// BENCH_PR5.json by scripts/bench_baseline.sh.
+func BenchmarkServeScoreMonitored(b *testing.B) {
+	m := loadModelFile(b, fixtureV2Path)
+	if m.Profile() == nil {
+		b.Fatal("v2 fixture carries no profile; monitoring would not arm")
+	}
+	benchServeScore(b, m)
+}
+
+func benchServeScore(b *testing.B, model *core.Model) {
 	payload, err := json.Marshal(scoreRequest{Instances: testRows(4, 123), Strategy: "ED"})
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"targad/internal/buildinfo"
+	"targad/internal/core"
+	"targad/internal/monitor"
+)
+
+// newAccumulator builds the drift window for a freshly installed
+// model, or nil when monitoring cannot arm: monitoring disabled by
+// config, or the model carries no reference profile (v1 save files,
+// degenerate captures). A nil accumulator costs the hot path one nil
+// check per batch.
+func (s *Server) newAccumulator(m *core.Model) *monitor.Accumulator {
+	if s.cfg.DisableMonitor {
+		return nil
+	}
+	p := m.Profile()
+	if p == nil {
+		return nil
+	}
+	mc := s.cfg.Monitor
+	mc.Strategy = int(s.cfg.Strategy)
+	a, err := monitor.NewAccumulator(p, mc)
+	if err != nil {
+		s.cfg.Logf("serve: monitoring disabled: %v", err)
+		return nil
+	}
+	return a
+}
+
+// driftThresholds echoes the effective warn/alarm configuration in the
+// /drift answer so operators can read status and cutoffs together.
+type driftThresholds struct {
+	WarnPSI  float64 `json:"warn_psi"`
+	AlarmPSI float64 `json:"alarm_psi"`
+	WarnMix  float64 `json:"warn_mix"`
+	AlarmMix float64 `json:"alarm_mix"`
+}
+
+// driftFeature is one feature's live-vs-reference drift in the /drift
+// answer.
+type driftFeature struct {
+	Index   int     `json:"index"`
+	PSI     float64 `json:"psi"`
+	KS      float64 `json:"ks"`
+	Mean    float64 `json:"mean"`
+	RefMean float64 `json:"ref_mean"`
+}
+
+// driftResponse is the GET /drift JSON body.
+type driftResponse struct {
+	Enabled bool   `json:"enabled"`
+	Reason  string `json:"reason,omitempty"`
+
+	ModelVersion int64  `json:"model_version,omitempty"`
+	Status       string `json:"status,omitempty"`
+	WindowRows   int64  `json:"window_rows,omitempty"`
+	TotalRows    int64  `json:"total_rows,omitempty"`
+	MinRows      int    `json:"min_rows,omitempty"`
+
+	Thresholds *driftThresholds `json:"thresholds,omitempty"`
+
+	MaxFeaturePSI float64 `json:"max_feature_psi,omitempty"`
+	MaxPSIFeature int     `json:"max_psi_feature,omitempty"`
+	MaxFeatureKS  float64 `json:"max_feature_ks,omitempty"`
+	MaxKSFeature  int     `json:"max_ks_feature,omitempty"`
+	ScorePSI      float64 `json:"score_psi,omitempty"`
+	ScoreKS       float64 `json:"score_ks,omitempty"`
+
+	HaveMix     bool        `json:"have_mix,omitempty"`
+	Mix         *[3]float64 `json:"mix,omitempty"`
+	RefMix      *[3]float64 `json:"ref_mix,omitempty"`
+	MixTV       float64     `json:"mix_tv,omitempty"`
+	NormalPrior float64     `json:"normal_prior,omitempty"`
+	DecidedRows int64       `json:"decided_rows,omitempty"`
+
+	Features []driftFeature `json:"features,omitempty"`
+
+	Shadow *shadowReport `json:"shadow,omitempty"`
+}
+
+// handleDrift answers GET /drift with the current window's drift
+// report against the served model's reference profile, plus the shadow
+// evaluation's running stats when one is active.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	out := driftResponse{Shadow: s.shadowSnapshot()}
+	lm := s.cur.Load()
+	switch {
+	case lm == nil:
+		out.Reason = "no model loaded"
+	case lm.mon == nil:
+		if s.cfg.DisableMonitor {
+			out.Reason = "monitoring disabled by configuration"
+		} else {
+			out.Reason = "served model carries no reference profile (pre-v2 save file)"
+		}
+		out.ModelVersion = lm.version
+	default:
+		snap := lm.mon.Snapshot()
+		mc := lm.mon.Config()
+		out.Enabled = true
+		out.ModelVersion = lm.version
+		out.Status = snap.Status.String()
+		out.WindowRows = snap.Rows
+		out.TotalRows = snap.TotalRows
+		out.MinRows = snap.MinRows
+		out.Thresholds = &driftThresholds{
+			WarnPSI: mc.WarnPSI, AlarmPSI: mc.AlarmPSI,
+			WarnMix: mc.WarnMix, AlarmMix: mc.AlarmMix,
+		}
+		out.MaxFeaturePSI = snap.MaxPSI
+		out.MaxPSIFeature = snap.MaxPSIFeature
+		out.MaxFeatureKS = snap.MaxKS
+		out.MaxKSFeature = snap.MaxKSFeature
+		out.ScorePSI = snap.ScorePSI
+		out.ScoreKS = snap.ScoreKS
+		out.NormalPrior = snap.NormalPrior
+		if snap.HaveMix {
+			out.HaveMix = true
+			mix, ref := snap.Mix, snap.RefMix
+			out.Mix, out.RefMix = &mix, &ref
+			out.MixTV = snap.MixTV
+			out.DecidedRows = snap.DecidedRows
+		}
+		if len(snap.Features) > 0 {
+			out.Features = make([]driftFeature, len(snap.Features))
+			for i, f := range snap.Features {
+				out.Features[i] = driftFeature{Index: f.Index, PSI: f.PSI, KS: f.KS, Mean: f.Mean, RefMean: f.RefMean}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeMonitorMetrics appends the drift, shadow, and build-info series
+// to the /metrics exposition. Rendering runs one Snapshot per scrape —
+// observation-cadence work, never on the scoring path.
+func (s *Server) writeMonitorMetrics(w io.Writer) {
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP targad_build_info Build metadata; the value is always 1.\n# TYPE targad_build_info gauge\n")
+	fmt.Fprintf(w, "targad_build_info{version=%q,revision=%q,go=%q} 1\n",
+		buildinfo.Version(), buildinfo.Revision(), buildinfo.GoVersion())
+
+	lm := s.cur.Load()
+	enabled := 0.0
+	if lm != nil && lm.mon != nil {
+		enabled = 1
+	}
+	gaugeF("targad_monitor_enabled", "1 when drift monitoring is armed for the served model.", enabled)
+	if enabled == 1 {
+		snap := lm.mon.Snapshot()
+		gaugeF("targad_monitor_status", "Drift status: 0 filling, 1 ok, 2 warn, 3 alarm.", float64(snap.Status))
+		gaugeF("targad_monitor_window_rows", "Rows in the sliding drift window.", float64(snap.Rows))
+		gaugeF("targad_monitor_max_feature_psi", "Worst per-feature PSI of the window vs the reference profile.", snap.MaxPSI)
+		gaugeF("targad_monitor_max_feature_ks", "Worst per-feature binned KS statistic vs the reference profile.", snap.MaxKS)
+		gaugeF("targad_monitor_score_psi", "PSI of the live S^tar score distribution vs the reference.", snap.ScorePSI)
+		gaugeF("targad_monitor_score_ks", "Binned KS of the live S^tar score distribution vs the reference.", snap.ScoreKS)
+		if snap.HaveMix {
+			gaugeF("targad_monitor_mix_tv", "Total-variation distance of the live decision mix from the reference.", snap.MixTV)
+		}
+	}
+
+	sh := s.shadowSnapshot()
+	active := 0.0
+	if sh != nil {
+		active = 1
+	}
+	gaugeF("targad_shadow_active", "1 while a shadow model is under evaluation.", active)
+	if sh != nil {
+		gaugeF("targad_shadow_batches_total", "Live batches the shadow model re-scored.", float64(sh.Batches))
+		gaugeF("targad_shadow_rows_total", "Rows the shadow model re-scored.", float64(sh.Rows))
+		gaugeF("targad_shadow_score_mean_abs_delta", "Mean |shadow score - serving score| over sampled rows.", sh.MeanAbsDelta)
+		gaugeF("targad_shadow_score_max_abs_delta", "Largest |shadow score - serving score| seen.", sh.MaxAbsDelta)
+		gaugeF("targad_shadow_decision_flip_rate", "Fraction of sampled decisions the shadow model flips.", sh.FlipRate)
+		gaugeF("targad_shadow_errors_total", "Shadow inference passes that failed.", float64(sh.Errors))
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"targad/internal/core"
 	"targad/internal/faultinject"
 	"targad/internal/mat"
+	"targad/internal/monitor"
 )
 
 // Config tunes the service. The zero value of every field has a usable
@@ -73,17 +74,40 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 
+	// Monitor tunes drift monitoring: window size, ring granularity,
+	// and warn/alarm thresholds (zero values take monitor defaults).
+	// Monitoring arms per model generation, and only when the served
+	// model carries a reference profile (persist format v2); models
+	// without one serve unmonitored.
+	Monitor monitor.Config
+	// DisableMonitor switches drift monitoring off even for models
+	// that carry a profile.
+	DisableMonitor bool
+	// DriftDegrade makes /readyz answer 503 while the drift status is
+	// alarm, steering load-balancer traffic away from a replica whose
+	// inputs no longer match its model.
+	DriftDegrade bool
+	// ShadowSample is the fraction of live batches a loaded shadow
+	// model re-scores in the background (default 0.25; clamped to
+	// (0, 1]). Sampling is deterministic (every 1/fraction-th batch),
+	// not random.
+	ShadowSample float64
+
 	// Logf, when set, receives one line per lifecycle event (load,
 	// reload, shutdown). Nil discards.
 	Logf func(format string, v ...any)
 }
 
-// loadedModel is one immutable generation of the served model.
+// loadedModel is one immutable generation of the served model. The
+// drift accumulator lives here, not on the Server: a reload builds a
+// fresh window, so drift statistics never mix traffic scored by
+// different model generations.
 type loadedModel struct {
 	model    *core.Model
 	version  int64
 	source   string
 	loadedAt time.Time
+	mon      *monitor.Accumulator // nil = monitoring disabled
 }
 
 // Server is the scoring service. Create with New, mount Handler on an
@@ -99,7 +123,11 @@ type Server struct {
 	wg      sync.WaitGroup
 	closing sync.Once
 
-	reloadMu sync.Mutex // serializes Reload/SetModel swaps
+	reloadMu sync.Mutex // serializes Reload/SetModel/shadow swaps
+
+	// shadow is the candidate model under evaluation (nil when none);
+	// see shadow.go.
+	shadow atomic.Pointer[shadowState]
 }
 
 // New builds a Server from cfg, loading the initial model from
@@ -120,6 +148,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
+	if cfg.ShadowSample <= 0 || cfg.ShadowSample > 1 {
+		cfg.ShadowSample = 0.25
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -136,6 +167,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/score", s.handleScore)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/drift", s.handleDrift)
+	s.mux.HandleFunc("/promote", s.handlePromote)
+	s.mux.HandleFunc("/discard", s.handleDiscard)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -171,8 +205,20 @@ func (s *Server) ModelVersion() int64 {
 func (s *Server) SetModel(m *core.Model, source string) int64 {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	return s.install(m, source)
+}
+
+// install swaps m in as the next generation and arms its drift window.
+// Callers hold reloadMu.
+func (s *Server) install(m *core.Model, source string) int64 {
 	v := s.gen.Add(1)
-	s.cur.Store(&loadedModel{model: m, version: v, source: source, loadedAt: time.Now()})
+	s.cur.Store(&loadedModel{
+		model:    m,
+		version:  v,
+		source:   source,
+		loadedAt: time.Now(),
+		mon:      s.newAccumulator(m),
+	})
 	return v
 }
 
@@ -192,8 +238,7 @@ func (s *Server) Reload() (int64, error) {
 		s.metrics.reloadErrs.Add(1)
 		return 0, err
 	}
-	v := s.gen.Add(1)
-	s.cur.Store(&loadedModel{model: m, version: v, source: s.cfg.ModelPath, loadedAt: time.Now()})
+	v := s.install(m, s.cfg.ModelPath)
 	s.metrics.reloads.Add(1)
 	s.cfg.Logf("serve: model v%d loaded from %s", v, s.cfg.ModelPath)
 	return v, nil
@@ -411,6 +456,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
+	if q := r.URL.Query().Get("shadow"); q == "1" || strings.EqualFold(q, "true") {
+		source, err := s.ShadowLoad()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"shadow": true, "source": source})
+		return
+	}
 	v, err := s.Reload()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -431,9 +485,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	default:
 	}
-	if s.cur.Load() == nil {
+	lm := s.cur.Load()
+	if lm == nil {
 		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
 		return
+	}
+	if s.cfg.DriftDegrade && lm.mon != nil {
+		if snap := lm.mon.Snapshot(); snap.Status == monitor.StatusAlarm {
+			http.Error(w, fmt.Sprintf("drift alarm: max feature PSI %.3f, score PSI %.3f, mix TV %.3f",
+				snap.MaxPSI, snap.ScorePSI, snap.MixTV), http.StatusServiceUnavailable)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ready\n"))
@@ -448,4 +510,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	default:
 	}
 	s.metrics.write(w, len(s.queue), cap(s.queue), s.ModelVersion(), ready)
+	s.writeMonitorMetrics(w)
 }

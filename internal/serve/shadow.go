@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/mat"
+)
+
+// Shadow evaluation: POST /reload?shadow=1 loads a candidate model
+// beside the serving one. The candidate never answers requests;
+// instead a deterministic sample of live batches is re-scored on it in
+// the background, accumulating score deltas and decision-flip rates
+// against the answers the serving model actually returned. When the
+// stats look right, POST /promote installs the very same *core.Model
+// object as the next serving generation — so promoted scoring is
+// bitwise-identical to what the shadow produced — and POST /discard
+// drops it.
+
+// errNoShadow answers /promote and /discard when nothing is loaded.
+var errNoShadow = errors.New("serve: no shadow model loaded")
+
+// shadowState is one candidate under evaluation. The model pointer is
+// immutable; the stats are guarded by mu.
+type shadowState struct {
+	model    *core.Model
+	source   string
+	loadedAt time.Time
+
+	mu sync.Mutex
+	// acc implements deterministic fractional sampling: each batch adds
+	// ShadowSample, and the batch is taken when the accumulator crosses
+	// 1 — exactly every 1/ShadowSample-th batch, no RNG.
+	acc     float64
+	pending int64 // sampled batches not yet scored
+
+	batches int64
+	rows    int64
+	errs    int64
+
+	deltaSum float64 // Σ (shadow - serving) score
+	absSum   float64 // Σ |shadow - serving| score
+	maxAbs   float64
+	decided  int64 // rows where both models produced a decision
+	flips    int64 // decided rows where the decision changed
+}
+
+// shadowReport is the JSON/metrics view of a shadow evaluation.
+type shadowReport struct {
+	Source   string    `json:"source"`
+	LoadedAt time.Time `json:"loaded_at"`
+
+	Batches int64 `json:"batches"`
+	Rows    int64 `json:"rows"`
+	Errors  int64 `json:"errors,omitempty"`
+
+	MeanDelta    float64 `json:"score_mean_delta"`
+	MeanAbsDelta float64 `json:"score_mean_abs_delta"`
+	MaxAbsDelta  float64 `json:"score_max_abs_delta"`
+
+	DecidedRows int64   `json:"decided_rows"`
+	Flips       int64   `json:"decision_flips"`
+	FlipRate    float64 `json:"decision_flip_rate"`
+}
+
+// ShadowLoad reads cfg.ModelPath into a candidate model and starts
+// shadow evaluation, replacing any previous candidate (its stats are
+// dropped). The serving model is untouched.
+func (s *Server) ShadowLoad() (string, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.cfg.ModelPath == "" {
+		return "", errors.New("serve: no model path configured")
+	}
+	m, err := s.loadModelFile()
+	if err != nil {
+		s.metrics.reloadErrs.Add(1)
+		return "", err
+	}
+	s.shadow.Store(&shadowState{model: m, source: s.cfg.ModelPath, loadedAt: time.Now()})
+	s.cfg.Logf("serve: shadow model loaded from %s (sample %.2f)", s.cfg.ModelPath, s.cfg.ShadowSample)
+	return s.cfg.ModelPath, nil
+}
+
+// Promote installs the shadow model as the next serving generation and
+// ends the evaluation. Because the promoted generation is the same
+// model object the shadow scored with, traffic after promotion gets
+// bitwise-identical scores to the shadow's.
+func (s *Server) Promote() (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sh := s.shadow.Load()
+	if sh == nil {
+		return 0, errNoShadow
+	}
+	v := s.install(sh.model, sh.source)
+	s.shadow.Store(nil)
+	s.metrics.reloads.Add(1)
+	s.cfg.Logf("serve: shadow model promoted to v%d", v)
+	return v, nil
+}
+
+// Discard drops the shadow model and its stats.
+func (s *Server) Discard() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.shadow.Load() == nil {
+		return errNoShadow
+	}
+	s.shadow.Store(nil)
+	s.cfg.Logf("serve: shadow model discarded")
+	return nil
+}
+
+// shadowSnapshot copies the running stats, or nil when no shadow is
+// active.
+func (s *Server) shadowSnapshot() *shadowReport {
+	sh := s.shadow.Load()
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := &shadowReport{
+		Source:      sh.source,
+		LoadedAt:    sh.loadedAt,
+		Batches:     sh.batches,
+		Rows:        sh.rows,
+		Errors:      sh.errs,
+		MaxAbsDelta: sh.maxAbs,
+		DecidedRows: sh.decided,
+		Flips:       sh.flips,
+	}
+	if sh.rows > 0 {
+		r.MeanDelta = sh.deltaSum / float64(sh.rows)
+		r.MeanAbsDelta = sh.absSum / float64(sh.rows)
+	}
+	if sh.decided > 0 {
+		r.FlipRate = float64(sh.flips) / float64(sh.decided)
+	}
+	return r
+}
+
+// ShadowBatches returns how many batches the active shadow has scored
+// (0 when none); tests poll it to wait for background passes.
+func (s *Server) ShadowBatches() int64 {
+	sh := s.shadow.Load()
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.batches
+}
+
+// maybeShadow samples one served batch for background re-scoring on
+// the shadow model. The fast path (no shadow loaded) is one atomic
+// load and zero allocations. x and the result slices are immutable
+// after the batch fans out, so the background pass reads them safely.
+func (s *Server) maybeShadow(x *mat.Matrix, scores []float64, kinds []dataset.Kind) {
+	sh := s.shadow.Load()
+	if sh == nil {
+		return
+	}
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	sh.mu.Lock()
+	sh.acc += s.cfg.ShadowSample
+	take := sh.acc >= 1
+	if take {
+		sh.acc--
+		sh.pending++
+	}
+	sh.mu.Unlock()
+	if !take {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.shadowScore(sh, x, scores, kinds)
+	}()
+}
+
+// shadowScore runs the candidate over one sampled batch and folds the
+// comparison into the running stats.
+func (s *Server) shadowScore(sh *shadowState, x *mat.Matrix, scores []float64, kinds []dataset.Kind) {
+	opt := core.InferOptions{}
+	if kinds != nil {
+		if _, ok := sh.model.IdentifyThreshold(s.cfg.Strategy); ok {
+			opt.Strategies = []core.OODStrategy{s.cfg.Strategy}
+		}
+	}
+	res, err := sh.model.Infer(nil, x, opt)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pending--
+	if err != nil {
+		sh.errs++
+		return
+	}
+	sh.batches++
+	sh.rows += int64(x.Rows)
+	for i, old := range scores {
+		d := res.Scores[i] - old
+		sh.deltaSum += d
+		if d < 0 {
+			d = -d
+		}
+		sh.absSum += d
+		if d > sh.maxAbs {
+			sh.maxAbs = d
+		}
+	}
+	if newKinds, ok := res.Kinds[s.cfg.Strategy]; ok && kinds != nil {
+		for i, k := range newKinds {
+			sh.decided++
+			if k != kinds[i] {
+				sh.flips++
+			}
+		}
+	}
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	report := s.shadowSnapshot()
+	v, err := s.Promote()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errNoShadow) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model_version": v, "shadow": report})
+}
+
+func (s *Server) handleDiscard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	report := s.shadowSnapshot()
+	if err := s.Discard(); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"discarded": true, "shadow": report})
+}

@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
 # Records a machine-readable perf baseline for the five worker-pool
 # benchmarks (MatMul, KMeans, AutoencoderEpoch, TargADFit,
-# TargADScore) plus the serving benchmark (ServeScore: end-to-end HTTP
-# throughput at 1 vs N concurrent clients, micro-batching off/on),
-# capturing both ns/op and the allocation axis (B/op, allocs/op) so
-# the trajectory tracks the zero-allocation training contract
-# alongside raw speed.
+# TargADScore) plus the serving benchmarks (ServeScore: end-to-end
+# HTTP throughput at 1 vs N concurrent clients, micro-batching off/on;
+# ServeScoreMonitored: the same workload with the drift accumulator
+# armed, so the delta is the live-monitoring overhead), capturing both
+# ns/op and the allocation axis (B/op, allocs/op) so the trajectory
+# tracks the zero-allocation contracts alongside raw speed.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR4.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR5.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -29,8 +30,9 @@ if [ -n "$benchtime" ]; then
     args+=(-benchtime "$benchtime")
 fi
 
-# The serving benchmark drives its own client goroutines, so it is not
-# swept over -cpu; it runs once at the machine's GOMAXPROCS.
+# The serving benchmarks drive their own client goroutines, so they
+# are not swept over -cpu; they run once at the machine's GOMAXPROCS.
+# The pattern matches both ServeScore and ServeScoreMonitored.
 serve_args=(test -run '^$' -bench 'BenchmarkServeScore'
     -benchmem -timeout 30m ./internal/serve)
 if [ -n "$benchtime" ]; then
@@ -70,8 +72,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 4,\n"
-    printf "  \"description\": \"worker-pool benchmarks plus online serving (ServeScore: HTTP end-to-end, 1 vs N clients, micro-batching off/on)\",\n"
+    printf "  \"pr\": 5,\n"
+    printf "  \"description\": \"worker-pool benchmarks plus online serving (ServeScore: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: same with the drift accumulator armed)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

@@ -26,16 +26,17 @@ go test ./...
 # Race smoke: exercise the worker-pool kernels (mat GEMMs including the
 # packed-buffer blocked paths, k-means assignment, softmax batching),
 # the nn layer-workspace reuse, the concurrent per-cluster AE training,
-# and the full serving stack (micro-batcher, replica-pool inference,
-# hot reload under load, shedding) with a multi-worker pool under the
-# race detector. The zero-alloc assertions self-skip under -race (the
-# instrumentation allocates); the core package is scoped to its
-# parallel-path determinism and concurrent-inference tests to keep the
-# smoke short — the full core suite already ran above.
+# the drift-monitoring window (concurrent Observe vs Snapshot), and the
+# full serving stack (micro-batcher, replica-pool inference, hot reload
+# under load, shedding, shadow evaluation) with a multi-worker pool
+# under the race detector. The zero-alloc assertions self-skip under
+# -race (the instrumentation allocates); the core package is scoped to
+# its parallel-path determinism and concurrent-inference tests to keep
+# the smoke short — the full core suite already ran above.
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn \
-    ./internal/serve
+    ./internal/serve ./internal/monitor
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
@@ -55,7 +56,7 @@ TARGAD_WORKERS=4 go test -count=1 -run 'Fault|Crash|Panic|Slow' \
     ./internal/parallel
 go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalError' \
     ./internal/nn
-go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing' \
+go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle' \
     ./internal/serve
 
 # Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader (the
@@ -65,21 +66,27 @@ go test -fuzz FuzzLoadCSV -fuzztime 10s -run '^$' ./internal/dataset
 
 # Allocation-budget smoke: one iteration of each hot-path benchmark
 # with -benchmem, failing if allocs/op regresses above its budget. The
-# budgets are ~2x the post-PR-2 steady-state measurements (benchtime=1x
-# includes first-call workspace warm-up), so real regressions — a new
+# training budgets are ~2x steady-state measurements (benchtime=1x
+# includes first-call workspace warm-up; TargADFit's includes the
+# PR5 profile capture at the end of Fit), so real regressions — a new
 # per-batch allocation in a training loop is thousands of allocs/op —
-# trip immediately while warm-up noise does not.
+# trip immediately while warm-up noise does not. The monitor Observe
+# budget is exactly 0: the serving-path drift accumulator must never
+# allocate.
 echo "== allocation budgets (benchtime=1x, workers=1) =="
 go test -run '^$' \
     -bench 'BenchmarkTargADFit|BenchmarkAutoencoderEpoch|BenchmarkMatMul' \
     -benchtime 1x -benchmem -cpu 1 -timeout 20m . | tee /tmp/targad_alloc_smoke.txt
+go test -run '^$' -bench 'BenchmarkMonitorObserve' \
+    -benchmem -cpu 1 ./internal/monitor | tee -a /tmp/targad_alloc_smoke.txt
 awk '
 /^Benchmark/ {
     name = $1; allocs = $(NF - 1)
     budget = -1
-    if (name ~ /TargADFit/)         budget = 1600
+    if (name ~ /TargADFit/)         budget = 3600
     if (name ~ /AutoencoderEpoch/)  budget = 50
     if (name ~ /MatMul/)            budget = 10
+    if (name ~ /MonitorObserve/)    budget = 0
     if (budget >= 0 && allocs + 0 > budget) {
         printf "ALLOC REGRESSION: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget
         bad = 1
