@@ -250,6 +250,42 @@ func BenchmarkTargADScore(b *testing.B) {
 	}
 }
 
+// BenchmarkTargADScoreF32 is BenchmarkTargADScore's workload on the
+// float32 inference path (EnableF32 + InferF32, the same path
+// targad-serve -precision f32 takes), input narrowing included. The
+// ratio against BenchmarkTargADScore's f64 rows is the end-to-end f32
+// kernel speedup recorded in BENCH_PR6.json.
+func BenchmarkTargADScoreF32(b *testing.B) {
+	bundle, err := synth.Generate(synth.KDDCUP99(), synth.Options{
+		Scale: 0.03, Seed: 1, LabeledPerType: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.AEEpochs = 3
+	cfg.ClfEpochs = 8
+	cfg.AELR = 1e-3
+	cfg.ClfLR = 1e-3
+	m := core.New(cfg, 1)
+	if err := m.Fit(context.Background(), bundle.Train); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.EnableF32(nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		atWorkers(b, w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferF32(context.Background(), bundle.Test.X, core.InferOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMatMul(b *testing.B) {
 	sizes := []struct {
 		name    string

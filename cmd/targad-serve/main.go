@@ -20,6 +20,13 @@
 // started with. /healthz, /readyz, /metrics (Prometheus text),
 // /debug/vars, and (with -pprof) /debug/pprof serve operations.
 //
+// By default scoring runs in float64, bitwise-identical to offline
+// scoring of the same model file. -precision f32 serves on the float32
+// inference path — the packed GEMM runs AVX2/FMA kernels where the CPU
+// supports them — trading the bitwise guarantee for a documented score
+// tolerance (DESIGN.md "Numerical precision model") and a several-fold
+// throughput gain on large batches.
+//
 // Models saved by recent builds carry a training-time reference
 // profile; when present, the server tracks feature/score drift and
 // decision-mix deviation over a sliding window (GET /drift, /metrics
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"targad/internal/buildinfo"
+	"targad/internal/mat"
 	"targad/internal/monitor"
 	"targad/internal/parallel"
 	"targad/internal/serve"
@@ -55,6 +63,7 @@ func main() {
 		queueDepth  = flag.Int("queue", 256, "bounded queue depth; beyond it requests shed with 429")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
 		strategy    = flag.String("strategy", "ED", "default identification strategy (MSP, ES, ED)")
+		precision   = flag.String("precision", "f64", "inference precision: f64 (bitwise-identical to offline scoring) or f32 (faster SIMD kernels, tolerance-bounded scores)")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		noMonitor     = flag.Bool("no-monitor", false, "disable drift monitoring even when the model carries a profile")
@@ -81,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "targad-serve: unknown -strategy %q (want MSP, ES, or ED)\n", *strategy)
 		os.Exit(2)
 	}
+	prec, ok := serve.ParsePrecision(*precision)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "targad-serve: unknown -precision %q (want f64 or f32)\n", *precision)
+		os.Exit(2)
+	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
@@ -92,6 +106,7 @@ func main() {
 		QueueDepth:  *queueDepth,
 		RetryAfter:  *retryAfter,
 		Strategy:    strat,
+		Precision:   prec,
 		EnablePprof: *enablePprof,
 		Monitor: monitor.Config{
 			WindowRows: *monitorWindow,
@@ -127,8 +142,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("targad-serve %s: serving %s on %s (batch<=%d wait=%s queue=%d strategy=%s)",
-		buildinfo.Version(), *modelPath, *addr, *maxBatch, *maxWait, *queueDepth, strat)
+	log.Printf("targad-serve %s: serving %s on %s (batch<=%d wait=%s queue=%d strategy=%s precision=%s kernel=%s)",
+		buildinfo.Version(), *modelPath, *addr, *maxBatch, *maxWait, *queueDepth, strat, prec, mat.KernelName())
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"targad/internal/dataset"
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/parallel"
+)
+
+// Float32 inference path. EnableF32 converts the fitted classifier's
+// parameters to float32 once; InferF32 then mirrors Infer on the f32
+// kernels (mat.Mul32 and, on capable amd64 hardware, the AVX2/FMA
+// micro-kernels). Scores from this path are NOT bitwise-identical to
+// Infer — they carry the f32 tolerance contract pinned by
+// f32_tolerance_test.go and documented in DESIGN.md ("Numerical
+// precision model"). The float64 path is untouched.
+
+// ErrF32NotEnabled reports an InferF32 call before EnableF32.
+var ErrF32NotEnabled = errors.New("targad: float32 inference not enabled")
+
+// f32Replica bundles a float32 forward-pass replica with the
+// per-goroutine conversion and softmax workspaces, pooled on the same
+// free-list discipline as the f64 replicas.
+type f32Replica struct {
+	inf   *nn.Inference32
+	xbuf  *mat.Matrix32 // input narrowing workspace
+	probs *mat.Matrix32 // softmax output, detached from replica workspaces
+}
+
+// EnableF32 builds (or rebuilds) the model's float32 parameter set from
+// the current float64 parameters and resets the replica pool. Passing a
+// reuse buffer from a retired model recycles its parameter storage —
+// the mat.Ensure contract — so a hot reload of an f32-serving model
+// allocates no steady-state garbage; nil allocates fresh.
+//
+// Conversion is guarded: any NaN, ±Inf, or float32-overflowing
+// parameter aborts with the typed *nn.ConvertError and leaves the
+// model's f32 state disabled rather than serving Inf/NaN silently.
+//
+// Like Fit, EnableF32 must not run concurrently with InferF32 on the
+// same model.
+func (mo *Model) EnableF32(reuse *nn.Params32) error {
+	if mo.clf == nil {
+		return errors.New("targad: model is not fitted")
+	}
+	p, err := mo.clf.Params32Into(reuse)
+	if err != nil {
+		mo.inferMu.Lock()
+		mo.f32params = nil
+		mo.f32free = nil
+		mo.inferMu.Unlock()
+		return err
+	}
+	mo.inferMu.Lock()
+	mo.f32params = p
+	mo.f32free = nil
+	mo.inferMu.Unlock()
+	return nil
+}
+
+// F32Params returns the float32 parameter set built by EnableF32, or
+// nil. Serving hands a retired model's set back to EnableF32 on the
+// next reload to recycle its storage.
+func (mo *Model) F32Params() *nn.Params32 {
+	mo.inferMu.Lock()
+	defer mo.inferMu.Unlock()
+	return mo.f32params
+}
+
+// acquireInferF32 returns a pooled f32 replica, or nil when EnableF32
+// has not run.
+func (mo *Model) acquireInferF32() *f32Replica {
+	mo.inferMu.Lock()
+	if mo.f32params == nil {
+		mo.inferMu.Unlock()
+		return nil
+	}
+	if n := len(mo.f32free); n > 0 {
+		r := mo.f32free[n-1]
+		mo.f32free[n-1] = nil
+		mo.f32free = mo.f32free[:n-1]
+		mo.inferMu.Unlock()
+		return r
+	}
+	p := mo.f32params
+	mo.inferMu.Unlock()
+	return &f32Replica{inf: nn.NewInference32(p)}
+}
+
+// releaseInferF32 returns a replica to the free-list (same cap as the
+// f64 pool).
+func (mo *Model) releaseInferF32(r *f32Replica) {
+	mo.inferMu.Lock()
+	if len(mo.f32free) < maxInferReplicas {
+		mo.f32free = append(mo.f32free, r)
+	}
+	mo.inferMu.Unlock()
+}
+
+// InferF32 is the float32 twin of Infer: same inputs, same result
+// shape, same thread-safety (any number of goroutines on one model),
+// same three-way identification logic — but the forward pass, softmax,
+// and ID-ness scores run in float32. Thresholds stay the calibrated
+// float64 values; only the scores compared against them carry f32
+// rounding. Results are deterministic for a fixed binary, CPU, and
+// input (worker count never changes a row's value), but differ from
+// Infer within the tolerance pinned by f32_tolerance_test.go.
+func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) (res *InferResult, err error) {
+	defer recoverToError("infer-f32", &err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	if mo.clf == nil {
+		return nil, errors.New("targad: model is not fitted")
+	}
+	if x.Cols != mo.dim {
+		return nil, fmt.Errorf("targad: input dim %d, want %d", x.Cols, mo.dim)
+	}
+	thresholds := make(map[OODStrategy]float64, len(opt.Strategies))
+	for _, s := range opt.Strategies {
+		thr, ok := mo.idThreshold[s]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, s)
+		}
+		thresholds[s] = thr
+	}
+
+	rep := mo.acquireInferF32()
+	if rep == nil {
+		return nil, ErrF32NotEnabled
+	}
+	defer mo.releaseInferF32(rep)
+
+	rep.xbuf = mat.ToF32(rep.xbuf, x)
+	logits := rep.inf.Forward(rep.xbuf)
+
+	res = &InferResult{Scores: make([]float64, x.Rows)}
+	if len(opt.Strategies) == 0 && !opt.Probs {
+		// Score-only requests skip materializing the distribution:
+		// SoftmaxHeadMax32 is bitwise-identical to the softmax+argmax
+		// below, so the answer doesn't depend on what else was asked
+		// for.
+		parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				res.Scores[i] = mat.SoftmaxHeadMax32(logits.Row(i), mo.m)
+			}
+		})
+		return res, nil
+	}
+
+	// Softmax lands in the replica's detached probs workspace (logits is
+	// an inference workspace the next Forward would clobber); everything
+	// the result carries is copied out before the replica is released.
+	rep.probs = mat.Ensure32(rep.probs, logits.Rows, logits.Cols)
+	probs := rep.probs
+
+	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mat.Softmax32(probs.Row(i), logits.Row(i))
+			_, s := mat.ArgMax32(probs.Row(i)[:mo.m])
+			res.Scores[i] = float64(s)
+		}
+	})
+
+	if len(opt.Strategies) > 0 {
+		res.Kinds = make(map[OODStrategy][]dataset.Kind, len(opt.Strategies))
+		for _, s := range opt.Strategies {
+			res.Kinds[s] = make([]dataset.Kind, x.Rows)
+		}
+		normalCut := float64(mo.k) / float64(mo.m+mo.k)
+		for i := 0; i < x.Rows; i++ {
+			row := probs.Row(i)
+			var pNormal float64
+			for j := mo.m; j < mo.m+mo.k; j++ {
+				pNormal += float64(row[j])
+			}
+			for _, s := range opt.Strategies {
+				switch {
+				case pNormal > normalCut:
+					res.Kinds[s][i] = dataset.KindNormal
+				case idness32(s, row, logits.Row(i)) >= thresholds[s]:
+					res.Kinds[s][i] = dataset.KindTarget
+				default:
+					res.Kinds[s][i] = dataset.KindNonTarget
+				}
+			}
+		}
+	}
+	if opt.Probs {
+		res.Probs = mat.ToF64(nil, probs)
+	}
+	return res, nil
+}
+
+// idness32 computes the strategy's ID-ness score from one row's f32
+// softmax probabilities and logits, mirroring idness. MSP reads the
+// already-computed probability row (the f64 path's softmax-of-logits is
+// the same vector); ES/ED reduce the logits with float64 accumulators.
+func idness32(s OODStrategy, probs, logits []float32) float64 {
+	switch s {
+	case MSP:
+		_, p := mat.ArgMax32(probs)
+		return float64(p)
+	case ES:
+		return mat.LogSumExp32(logits)
+	case ED:
+		return mat.LogSumExp32(logits) - mat.Mean32(logits)
+	default:
+		panic("targad: unknown OOD strategy")
+	}
+}

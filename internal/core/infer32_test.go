@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"targad/internal/mat"
+	"targad/internal/nn"
+	"targad/internal/parallel"
+)
+
+// loadFixtureF32 loads a committed model fixture and enables float32
+// inference on it.
+func loadFixtureF32(t *testing.T, path string) *Model {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s: %v", path, err)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableF32(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// calibratedStrategies returns the strategies the model has thresholds
+// for.
+func calibratedStrategies(m *Model) []OODStrategy {
+	var out []OODStrategy
+	for _, s := range OODStrategies() {
+		if _, ok := m.IdentifyThreshold(s); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestInferF32ScoreOnlyBitwise pins the score-only fast path (no
+// strategies, no probabilities) to the probability-carrying path: the
+// scores must be bitwise-identical, so callers cannot observe which
+// internal path ran.
+func TestInferF32ScoreOnlyBitwise(t *testing.T) {
+	m := loadFixtureF32(t, fixtureModelV2)
+	x := fixtureInput(m.dim)
+	fast, err := m.InferF32(context.Background(), x, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.InferF32(context.Background(), x, InferOptions{Probs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fast.Scores {
+		if s != full.Scores[i] {
+			t.Fatalf("score %d: fast path %v, probs path %v (must be bitwise)", i, s, full.Scores[i])
+		}
+	}
+}
+
+func TestInferF32RequiresEnable(t *testing.T) {
+	raw, err := os.ReadFile(fixtureModelV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.InferF32(context.Background(), fixtureInput(m.dim), InferOptions{})
+	if !errors.Is(err, ErrF32NotEnabled) {
+		t.Fatalf("InferF32 before EnableF32: err = %v, want ErrF32NotEnabled", err)
+	}
+}
+
+func TestEnableF32RejectsPoisonedParams(t *testing.T) {
+	raw, err := os.ReadFile(fixtureModelV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.clf.Params()[0].Data[3] = math.NaN()
+	err = m.EnableF32(nil)
+	var ce *nn.ConvertError
+	if !errors.As(err, &ce) {
+		t.Fatalf("EnableF32 on NaN param: err = %v, want *nn.ConvertError", err)
+	}
+	// The failed enable must leave f32 inference off, not half-armed.
+	if m.F32Params() != nil {
+		t.Fatal("failed EnableF32 left f32 params armed")
+	}
+	_, err = m.InferF32(context.Background(), fixtureInput(m.dim), InferOptions{})
+	if !errors.Is(err, ErrF32NotEnabled) {
+		t.Fatalf("InferF32 after failed enable: err = %v, want ErrF32NotEnabled", err)
+	}
+}
+
+func TestInferF32DimMismatch(t *testing.T) {
+	m := loadFixtureF32(t, fixtureModelV2)
+	if _, err := m.InferF32(context.Background(), mat.New(2, m.dim+1), InferOptions{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+// TestInferF32Concurrent hammers one enabled model from many
+// goroutines (the race smoke in ci.sh picks this up via the TestInfer
+// prefix) and checks every goroutine gets identical bytes: the f32
+// path is deterministic per binary/CPU regardless of replica reuse.
+func TestInferF32Concurrent(t *testing.T) {
+	m := loadFixtureF32(t, fixtureModelV2)
+	x := fixtureInput(m.dim)
+	opt := InferOptions{Strategies: calibratedStrategies(m), Probs: true}
+	base, err := m.InferF32(context.Background(), x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for iter := 0; iter < 25; iter++ {
+				res, err := m.InferF32(context.Background(), x, opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range base.Scores {
+					if res.Scores[i] != base.Scores[i] {
+						errs <- errors.New("concurrent InferF32 scores diverged")
+						return
+					}
+				}
+				for s, kinds := range base.Kinds {
+					for i := range kinds {
+						if res.Kinds[s][i] != kinds[i] {
+							errs <- errors.New("concurrent InferF32 decisions diverged")
+							return
+						}
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInferF32WorkerInvariance: the score extraction's parallel chunk
+// split never changes a row's value.
+func TestInferF32WorkerInvariance(t *testing.T) {
+	m := loadFixtureF32(t, fixtureModelV2)
+	x := fixtureInput(m.dim)
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	base, err := m.InferF32(context.Background(), x, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		parallel.SetWorkers(w)
+		res, err := m.InferF32(context.Background(), x, InferOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Scores {
+			if res.Scores[i] != base.Scores[i] {
+				t.Fatalf("workers=%d: score %d = %v, want %v (bitwise)", w, i, res.Scores[i], base.Scores[i])
+			}
+		}
+	}
+}

@@ -154,6 +154,12 @@ type Model struct {
 	// classifier replicas backing the thread-safe Infer path.
 	inferMu   sync.Mutex
 	inferFree []*nn.MLP
+
+	// Float32 inference state (see infer32.go): the converted parameter
+	// set built by EnableF32 and the replica free-list over it, both
+	// guarded by inferMu.
+	f32params *nn.Params32
+	f32free   []*f32Replica
 }
 
 // New returns an untrained TargAD model. Zero-valued numeric fields in

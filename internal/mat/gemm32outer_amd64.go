@@ -1,0 +1,36 @@
+//go:build !noasm
+
+package mat
+
+// Outer-product GEMM driver for the AVX2/FMA kernels. mul32OuterAsm
+// computes the 16-column body of dst = a·b directly from the unpacked
+// operands: fma4x16f32 holds a 4×16 C tile in registers, broadcasting
+// A elements against B row slabs, so there is no pack step and no
+// horizontal reduction. Sub-quad row remainders run the chain-identical
+// fma1x16f32; the sub-16 column remainder is handled by the caller via
+// the packed dot kernels.
+
+//go:noescape
+func fma4x16f32(a *float32, lda int, b *float32, ldb int, c *float32, ldc int, k int)
+
+//go:noescape
+func fma1x16f32(a *float32, b *float32, ldb int, c *float32, k int)
+
+// mul32OuterAsm computes dst rows [lo,hi) of columns [0, dst.Cols&^15)
+// of a·b. Mul32 installs it as mul32Outer when the CPU supports the
+// assembly kernels.
+func mul32OuterAsm(dst, a, b *Matrix32, lo, hi int) {
+	k, n := a.Cols, dst.Cols
+	body := n &^ 15
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		for j := 0; j < body; j += 16 {
+			fma4x16f32(&a.Data[i*k], k, &b.Data[j], n, &dst.Data[i*n+j], n, k)
+		}
+	}
+	for ; i < hi; i++ {
+		for j := 0; j < body; j += 16 {
+			fma1x16f32(&a.Data[i*k], &b.Data[j], n, &dst.Data[i*n+j], k)
+		}
+	}
+}

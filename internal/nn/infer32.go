@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"targad/internal/mat"
+)
+
+// Float32 inference replicas. Training and checkpoints stay float64;
+// serving can run batches through a one-time float32 copy of the
+// parameters using the f32 GEMM (mat.Mul32 and, on capable amd64
+// hardware, its AVX2/FMA kernels). Nothing here is bitwise-pinned —
+// outputs are tolerance-bounded against the float64 forward pass (see
+// DESIGN.md "Numerical precision model").
+
+// ConvertError reports a parameter value that cannot be narrowed to
+// float32 safely: NaN, ±Inf, or a finite float64 whose magnitude
+// overflows the float32 range. Serving such a value would silently turn
+// scores into Inf/NaN, so conversion refuses instead.
+type ConvertError struct {
+	Param  string  // parameter name, e.g. "dense196x64.W"
+	Index  int     // flat index within the parameter tensor
+	Value  float64 // the offending value
+	Reason string  // "non-finite" or "overflows float32"
+}
+
+func (e *ConvertError) Error() string {
+	return fmt.Sprintf("nn: convert %s[%d] = %g to float32: %s", e.Param, e.Index, e.Value, e.Reason)
+}
+
+// dense32 is one fused dense+activation stage of a float32 network:
+// y = act(x·W + b).
+type dense32 struct {
+	w   mat.Matrix32 // In×Out, row-major, owned by the Params32
+	b   []float32
+	act Activation // Identity when the dense layer has no activation
+}
+
+// Params32 holds a float32 copy of an MLP's parameters, shared by any
+// number of Inference32 replicas. It is immutable after Params32Into
+// fills it (replicas only read), so concurrent Forward calls on
+// replicas backed by one Params32 are safe.
+type Params32 struct {
+	in     int // input width, for shape checks
+	layers []dense32
+}
+
+// NumLayers returns the number of dense stages.
+func (p *Params32) NumLayers() int { return len(p.layers) }
+
+// Params32Into converts m's parameters to float32 into dst, reusing
+// dst's buffers when the topology matches (the mat.Ensure contract: a
+// nil dst allocates). Every value is checked before narrowing; the
+// first NaN, ±Inf, or float32-overflowing value aborts with a
+// *ConvertError and dst must then be treated as unspecified.
+//
+// When dst's buffers are large enough the call performs no allocation,
+// so hot-reloading a float32-serving model produces no steady-state
+// garbage (serve recycles the retired generation's Params32 here).
+func (m *MLP) Params32Into(dst *Params32) (*Params32, error) {
+	if dst == nil {
+		dst = &Params32{}
+	}
+	// Count dense stages and pair each with its trailing activation.
+	n := 0
+	for _, l := range m.Layers {
+		if _, ok := l.(*Dense); ok {
+			n++
+		}
+	}
+	if cap(dst.layers) < n {
+		dst.layers = make([]dense32, n)
+	}
+	dst.layers = dst.layers[:n]
+	li := 0
+	for i, l := range m.Layers {
+		d, ok := l.(*Dense)
+		if !ok {
+			continue
+		}
+		act := Identity
+		if i+1 < len(m.Layers) {
+			if a, ok := m.Layers[i+1].(*ActLayer); ok {
+				act = a.Act
+			}
+		}
+		st := &dst.layers[li]
+		st.act = act
+		st.w = *mat.Ensure32(&st.w, d.In, d.Out)
+		if err := narrowInto(st.w.Data, d.W.Data, d.W.Name); err != nil {
+			return nil, err
+		}
+		if cap(st.b) < d.Out {
+			st.b = make([]float32, d.Out)
+		}
+		st.b = st.b[:d.Out]
+		if err := narrowInto(st.b, d.B.Data, d.B.Name); err != nil {
+			return nil, err
+		}
+		li++
+	}
+	if n > 0 {
+		dst.in = dst.layers[0].w.Rows
+	}
+	return dst, nil
+}
+
+// narrowInto converts src to float32 into dst (same length), rejecting
+// values a float32 cannot represent finitely.
+func narrowInto(dst []float32, src []float64, name string) error {
+	for i, v := range src {
+		if !Finite(v) {
+			return &ConvertError{Param: name, Index: i, Value: v, Reason: "non-finite"}
+		}
+		f := float32(v)
+		if math.IsInf(float64(f), 0) {
+			return &ConvertError{Param: name, Index: i, Value: v, Reason: "overflows float32"}
+		}
+		dst[i] = f
+	}
+	return nil
+}
+
+// Inference32 is a float32 forward-pass replica over a shared Params32.
+// Like MLP replicas, each Inference32 owns its workspaces — concurrent
+// Forward calls on distinct replicas are safe — and Forward returns a
+// replica-owned matrix valid until the next Forward on the same
+// replica.
+type Inference32 struct {
+	p  *Params32
+	ws []*mat.Matrix32 // one output workspace per dense stage
+}
+
+// NewInference32 returns a replica over p. Workspaces grow lazily on
+// first Forward.
+func NewInference32(p *Params32) *Inference32 {
+	return &Inference32{p: p, ws: make([]*mat.Matrix32, len(p.layers))}
+}
+
+// Forward runs the batch x through every stage and returns the output
+// (replica-owned workspace). It panics on a feature-width mismatch,
+// matching MLP.Forward's contract.
+func (inf *Inference32) Forward(x *mat.Matrix32) *mat.Matrix32 {
+	if len(inf.p.layers) == 0 {
+		panic("nn: float32 forward on empty network")
+	}
+	if x.Cols != inf.p.in {
+		panic(fmt.Sprintf("nn: float32 forward with %d features, want %d", x.Cols, inf.p.in))
+	}
+	cur := x
+	for i := range inf.p.layers {
+		st := &inf.p.layers[i]
+		out := mat.Ensure32(inf.ws[i], cur.Rows, st.w.Cols)
+		inf.ws[i] = out
+		if _, err := mat.Mul32(out, cur, &st.w); err != nil {
+			panic(err)
+		}
+		addBiasAct32(out, st.b, st.act)
+		cur = out
+	}
+	return cur
+}
+
+// addBiasAct32 adds the bias row vector and applies the activation in
+// one pass over the matrix. ReLU — the only activation on serving-size
+// classifier hidden layers — is fully fused (one load/store per
+// element instead of two); the rest add the bias row-wise and then
+// run applyAct32.
+func addBiasAct32(m *mat.Matrix32, bias []float32, act Activation) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("nn: bias len %d on %d columns", len(bias), m.Cols))
+	}
+	if act != ReLU {
+		if err := mat.AddRowVector32(m, bias); err != nil {
+			panic(err)
+		}
+		applyAct32(act, m.Data)
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, bv := range bias {
+			v := row[j] + bv
+			// Branchless ReLU: an arithmetic shift of the sign bit
+			// yields an all-ones mask exactly for negative values
+			// (including -0), which AND-NOT clears to +0. Post-GEMM
+			// data is an even mix of signs, so the branchy form pays a
+			// misprediction per element.
+			b := math.Float32bits(v)
+			row[j] = math.Float32frombits(b &^ uint32(int32(b)>>31))
+		}
+	}
+}
+
+// applyAct32 applies an activation element-wise in place. Sigmoid and
+// tanh evaluate in float64 (their cost is negligible next to the GEMM);
+// the piecewise-linear activations stay in float32.
+func applyAct32(a Activation, data []float32) {
+	switch a {
+	case ReLU:
+		for i, v := range data {
+			b := math.Float32bits(v)
+			data[i] = math.Float32frombits(b &^ uint32(int32(b)>>31))
+		}
+	case LeakyReLU:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = leakySlope * v
+			}
+		}
+	case Sigmoid:
+		for i, v := range data {
+			data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case Tanh:
+		for i, v := range data {
+			data[i] = float32(math.Tanh(float64(v)))
+		}
+	case Identity:
+	}
+}

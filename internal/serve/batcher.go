@@ -109,16 +109,19 @@ func (s *Server) drainQueue() {
 }
 
 // runBatch scores one coalesced batch and fans results back out to the
-// member jobs. The model pointer is captured once, so a hot-reload
-// racing this batch lets it finish on the model it started with.
+// member jobs. The model generation is captured once, so a hot-reload
+// racing this batch lets it finish on the model it started with; in
+// f32 mode the capture also pins the generation against parameter
+// buffer reclaim (see precision.go).
 func (s *Server) runBatch(jobs []*job) {
-	lm := s.cur.Load()
+	lm := s.acquireModel()
 	if lm == nil {
 		for _, j := range jobs {
 			j.resp <- jobResult{err: errors.New("serve: no model loaded")}
 		}
 		return
 	}
+	defer s.releaseModel(lm)
 
 	// Jobs whose width disagrees with the first job's cannot share its
 	// GEMM pass; fail them individually (the model's own dim check
@@ -202,7 +205,13 @@ func (s *Server) infer(lm *loadedModel, x *mat.Matrix, batch []*job) (*core.Infe
 			x.Data[i] += v
 		}
 	}
-	res, err := lm.model.Infer(nil, x, opt)
+	var res *core.InferResult
+	var err error
+	if s.cfg.Precision == F32 {
+		res, err = lm.model.InferF32(nil, x, opt)
+	} else {
+		res, err = lm.model.Infer(nil, x, opt)
+	}
 	if err != nil {
 		return nil, lm.version, err
 	}

@@ -21,7 +21,16 @@ import (
 // the blocked GEMM amortizes across clients). Recorded to
 // BENCH_PR4.json by scripts/bench_baseline.sh.
 func BenchmarkServeScore(b *testing.B) {
-	benchServeScore(b, loadFixtureModel(b))
+	benchServeScore(b, loadFixtureModel(b), F64)
+}
+
+// BenchmarkServeScoreF32 is the same workload served on the float32
+// inference path (-precision f32); the delta against
+// BenchmarkServeScore is the end-to-end win from the f32 kernels.
+// Recorded next to the f64 rows in BENCH_PR6.json by
+// scripts/bench_baseline.sh.
+func BenchmarkServeScoreF32(b *testing.B) {
+	benchServeScore(b, loadFixtureModel(b), F32)
 }
 
 // BenchmarkServeScoreMonitored is the same workload over the v2
@@ -34,10 +43,10 @@ func BenchmarkServeScoreMonitored(b *testing.B) {
 	if m.Profile() == nil {
 		b.Fatal("v2 fixture carries no profile; monitoring would not arm")
 	}
-	benchServeScore(b, m)
+	benchServeScore(b, m, F64)
 }
 
-func benchServeScore(b *testing.B, model *core.Model) {
+func benchServeScore(b *testing.B, model *core.Model, prec Precision) {
 	payload, err := json.Marshal(scoreRequest{Instances: testRows(4, 123), Strategy: "ED"})
 	if err != nil {
 		b.Fatal(err)
@@ -47,8 +56,8 @@ func benchServeScore(b *testing.B, model *core.Model) {
 		name string
 		cfg  Config
 	}{
-		{"batch=off", Config{MaxBatch: 1, Strategy: core.ED}},
-		{"batch=on", Config{MaxBatch: 64, MaxWait: 500 * time.Microsecond, QueueDepth: 1024, Strategy: core.ED}},
+		{"batch=off", Config{MaxBatch: 1, Strategy: core.ED, Precision: prec}},
+		{"batch=on", Config{MaxBatch: 64, MaxWait: 500 * time.Microsecond, QueueDepth: 1024, Strategy: core.ED, Precision: prec}},
 	} {
 		for _, clients := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/clients=%d", batching.name, clients), func(b *testing.B) {
@@ -57,7 +66,9 @@ func benchServeScore(b *testing.B, model *core.Model) {
 					b.Fatal(err)
 				}
 				defer s.Close()
-				s.SetModel(model, "bench")
+				if _, err := s.SetModel(model, "bench"); err != nil {
+					b.Fatal(err)
+				}
 				ts := httptest.NewServer(s.Handler())
 				defer ts.Close()
 

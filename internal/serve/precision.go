@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"strings"
+
+	"targad/internal/nn"
+)
+
+// Precision selects the numeric path requests are scored on.
+type Precision int
+
+const (
+	// F64 (the default) scores on the float64 path, bitwise-identical
+	// to offline core.Model.Score/Infer on the same model file.
+	F64 Precision = iota
+	// F32 scores on the float32 inference path: parameters are narrowed
+	// once at load, the forward pass runs the f32 GEMM (AVX2/FMA
+	// kernels where available), and scores carry the tolerance contract
+	// documented in DESIGN.md ("Numerical precision model") instead of
+	// the bitwise guarantee.
+	F32
+)
+
+// String returns the flag-style name ("f64", "f32").
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision maps the -precision flag values to the enum. The
+// empty string is the default precision.
+func ParsePrecision(s string) (Precision, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "f64", "float64":
+		return F64, true
+	case "f32", "float32":
+		return F32, true
+	default:
+		return 0, false
+	}
+}
+
+// Float32-mode generation tracking. The f64 path never touches any of
+// this: batches just atomically load the current generation, and
+// retired generations are left to the GC. In f32 mode each generation
+// carries a converted parameter set worth recycling, so batches pin the
+// generation they score on (acquireModel/releaseModel) and the reload
+// path hands the drained previous generation's buffers back to
+// core.Model.EnableF32 — a steady stream of reloads then allocates no
+// parameter garbage.
+
+// acquireModel captures the serving generation for one batch. In f32
+// mode the generation is pinned: lmMu closes the race between loading
+// the pointer and registering on the generation's in-flight count, so
+// a concurrent install can never retire a generation between a batch
+// seeing it and pinning it.
+func (s *Server) acquireModel() *loadedModel {
+	if s.cfg.Precision != F32 {
+		return s.cur.Load()
+	}
+	s.lmMu.RLock()
+	lm := s.cur.Load()
+	if lm != nil {
+		lm.inflight.Add(1)
+	}
+	s.lmMu.RUnlock()
+	return lm
+}
+
+// releaseModel unpins a generation captured by acquireModel.
+func (s *Server) releaseModel(lm *loadedModel) {
+	if s.cfg.Precision == F32 && lm != nil {
+		lm.inflight.Done()
+	}
+}
+
+// reclaimSpare32 returns the float32 parameter buffers of the
+// generation retired by the previous install, after its last in-flight
+// batch drains, or nil when there is nothing to recycle. Callers hold
+// reloadMu. Every batch on the retired generation registered its pin
+// before the install swapped it out (acquireModel holds lmMu across
+// load+pin, install holds it across the swap), so Wait covers them all
+// and nothing can pin the generation afterwards.
+func (s *Server) reclaimSpare32() *nn.Params32 {
+	if s.cfg.Precision != F32 {
+		return nil
+	}
+	r := s.retired
+	if r == nil {
+		return nil
+	}
+	r.inflight.Wait()
+	s.retired = nil
+	return r.model.F32Params()
+}

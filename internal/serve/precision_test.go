@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"targad/internal/core"
+)
+
+// serveF32Tol bounds a served f32 score against the offline f64
+// reference — the same contract core's f32_tolerance_test.go pins
+// (measured ~2e-7 on the fixture; the serve bound only needs to catch
+// wiring mistakes, not re-pin the kernels).
+const serveF32Tol = 1e-5
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", F64, true},
+		{"f64", F64, true},
+		{"Float64", F64, true},
+		{" F32 ", F32, true},
+		{"float32", F32, true},
+		{"f16", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParsePrecision(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Fatalf("ParsePrecision(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	if F64.String() != "f64" || F32.String() != "f32" {
+		t.Fatal("Precision.String drifted from the flag values")
+	}
+}
+
+// TestServeF32WithinTolerance serves the fixture on the float32 path
+// (batching off and on) and checks every HTTP answer against the
+// offline float64 reference: scores within tolerance, decisions
+// identical.
+func TestServeF32WithinTolerance(t *testing.T) {
+	rows := testRows(12, 321)
+	want := offlineExpect(t, loadFixtureModel(t), rows, core.MSP)
+
+	for _, cfg := range []Config{
+		{MaxBatch: 1, Precision: F32},
+		{MaxBatch: 32, MaxWait: time.Millisecond, Precision: F32},
+	} {
+		_, ts := newTestServer(t, cfg)
+		status, ok, bad := postScore(t, http.DefaultClient, ts.URL, scoreRequest{Instances: rows, Strategy: "MSP", Probabilities: true})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, bad.Error)
+		}
+		if len(ok.Scores) != len(want.scores) {
+			t.Fatalf("%d scores, want %d", len(ok.Scores), len(want.scores))
+		}
+		for i, s := range ok.Scores {
+			if d := math.Abs(s - want.scores[i]); d > serveF32Tol {
+				t.Fatalf("score %d: f32 serve %v vs offline f64 %v (diff %g)", i, s, want.scores[i], d)
+			}
+		}
+		for i, dec := range ok.Decisions {
+			if dec != want.decisions[i] {
+				t.Fatalf("decision %d flipped: %q vs %q", i, dec, want.decisions[i])
+			}
+		}
+		for i, prow := range ok.Probabilities {
+			for j, p := range prow {
+				if d := math.Abs(p - want.probs.At(i, j)); d > serveF32Tol {
+					t.Fatalf("prob (%d,%d): %v vs %v", i, j, p, want.probs.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestServeF32ReloadRecyclesParams pins the zero-garbage reload
+// contract: generation 1's float32 parameter buffers are reclaimed
+// when generation 3 loads (gen 1 retires at the gen-2 swap and has
+// drained by the gen-3 reload), so a steady stream of reloads cycles
+// between two parameter sets instead of allocating fresh ones.
+func TestServeF32ReloadRecyclesParams(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBatch: 1, Precision: F32})
+
+	gen1 := s.cur.Load().model.F32Params()
+	if gen1 == nil {
+		t.Fatal("f32 server loaded without enabling float32")
+	}
+	// Traffic on gen 1, so the drain path is exercised, not vacuous.
+	if status, _, bad := postScore(t, http.DefaultClient, ts.URL, scoreRequest{Instances: testRows(4, 9)}); status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, bad.Error)
+	}
+
+	if _, err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := s.cur.Load().model.F32Params()
+	if gen2 == gen1 {
+		t.Fatal("generation 2 must not reuse generation 1's params while gen 1 may still be scoring")
+	}
+	if _, err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	gen3 := s.cur.Load().model.F32Params()
+	if gen3 != gen1 {
+		t.Fatal("generation 3 did not recycle generation 1's float32 parameter buffers")
+	}
+	// And the recycled generation still serves correct scores.
+	rows := testRows(6, 77)
+	want := offlineExpect(t, loadFixtureModel(t), rows, core.MSP)
+	status, ok, bad := postScore(t, http.DefaultClient, ts.URL, scoreRequest{Instances: rows})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, bad.Error)
+	}
+	for i, sc := range ok.Scores {
+		if d := math.Abs(sc - want.scores[i]); d > serveF32Tol {
+			t.Fatalf("post-recycle score %d: %v vs %v", i, sc, want.scores[i])
+		}
+	}
+}
+
+// TestServeF32Shadow: shadow evaluation in f32 mode scores the
+// candidate on the f32 path too; with an identical candidate file the
+// deltas are exactly zero (same path, same kernels, same bytes).
+func TestServeF32Shadow(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBatch: 1, Precision: F32, ShadowSample: 1})
+	if _, err := s.ShadowLoad(); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, bad := postScore(t, http.DefaultClient, ts.URL, scoreRequest{Instances: testRows(5, 55)}); status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, bad.Error)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ShadowBatches() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shadow batch never scored")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := s.shadowSnapshot()
+	if rep.MaxAbsDelta != 0 {
+		t.Fatalf("identical candidate on the same f32 path must have zero delta, got %g", rep.MaxAbsDelta)
+	}
+	if rep.Flips != 0 {
+		t.Fatalf("identical candidate flipped %d decisions", rep.Flips)
+	}
+}

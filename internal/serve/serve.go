@@ -71,6 +71,16 @@ type Config struct {
 	// of failing the request.
 	Strategy core.OODStrategy
 
+	// Precision selects the numeric inference path (default F64, which
+	// stays bitwise-identical to offline scoring). F32 narrows the
+	// model parameters once at load and serves on the float32 kernels —
+	// several times faster through the GEMM on AVX2 hardware — within
+	// the tolerance contract of DESIGN.md's "Numerical precision
+	// model". A model whose parameters cannot be narrowed safely (NaN,
+	// ±Inf, float32 overflow) is rejected at load with a typed error
+	// instead of serving Inf/NaN.
+	Precision Precision
+
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 
@@ -108,6 +118,11 @@ type loadedModel struct {
 	source   string
 	loadedAt time.Time
 	mon      *monitor.Accumulator // nil = monitoring disabled
+
+	// inflight counts batches scoring on this generation; used only in
+	// f32 mode (see precision.go), where a retired generation's
+	// parameter buffers are recycled once it drains.
+	inflight sync.WaitGroup
 }
 
 // Server is the scoring service. Create with New, mount Handler on an
@@ -124,6 +139,13 @@ type Server struct {
 	closing sync.Once
 
 	reloadMu sync.Mutex // serializes Reload/SetModel/shadow swaps
+
+	// Float32-mode generation tracking (precision.go): lmMu closes the
+	// load→pin race between batches and installs; retired holds the
+	// last swapped-out generation until its float32 parameter buffers
+	// are reclaimed on the next reload (guarded by reloadMu).
+	lmMu    sync.RWMutex
+	retired *loadedModel
 
 	// shadow is the candidate model under evaluation (nil when none);
 	// see shadow.go.
@@ -201,24 +223,45 @@ func (s *Server) ModelVersion() int64 {
 }
 
 // SetModel installs m as the served model (tests, or embedders that
-// load models themselves) and returns the new generation.
-func (s *Server) SetModel(m *core.Model, source string) int64 {
+// load models themselves) and returns the new generation. In f32 mode
+// the model's parameters are narrowed first — a model that cannot be
+// narrowed safely is rejected and the current generation keeps
+// serving. Installing hands ownership of m to the server: in f32 mode
+// its parameter buffers are recycled into a later generation once it
+// retires.
+func (s *Server) SetModel(m *core.Model, source string) (int64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	return s.install(m, source)
+	if s.cfg.Precision == F32 {
+		if err := m.EnableF32(s.reclaimSpare32()); err != nil {
+			return 0, fmt.Errorf("serve: enable float32: %w", err)
+		}
+	}
+	return s.install(m, source), nil
 }
 
 // install swaps m in as the next generation and arms its drift window.
-// Callers hold reloadMu.
+// Callers hold reloadMu; in f32 mode m must already have EnableF32
+// applied.
 func (s *Server) install(m *core.Model, source string) int64 {
 	v := s.gen.Add(1)
-	s.cur.Store(&loadedModel{
+	next := &loadedModel{
 		model:    m,
 		version:  v,
 		source:   source,
 		loadedAt: time.Now(),
 		mon:      s.newAccumulator(m),
-	})
+	}
+	if s.cfg.Precision == F32 {
+		// The swap happens under lmMu so no batch can pin the outgoing
+		// generation after it lands in retired (see precision.go).
+		s.lmMu.Lock()
+		s.retired = s.cur.Load()
+		s.cur.Store(next)
+		s.lmMu.Unlock()
+	} else {
+		s.cur.Store(next)
+	}
 	return v
 }
 
@@ -238,9 +281,15 @@ func (s *Server) Reload() (int64, error) {
 		s.metrics.reloadErrs.Add(1)
 		return 0, err
 	}
+	if s.cfg.Precision == F32 {
+		if err := m.EnableF32(s.reclaimSpare32()); err != nil {
+			s.metrics.reloadErrs.Add(1)
+			return 0, fmt.Errorf("serve: reload: enable float32: %w", err)
+		}
+	}
 	v := s.install(m, s.cfg.ModelPath)
 	s.metrics.reloads.Add(1)
-	s.cfg.Logf("serve: model v%d loaded from %s", v, s.cfg.ModelPath)
+	s.cfg.Logf("serve: model v%d loaded from %s (%s)", v, s.cfg.ModelPath, s.cfg.Precision)
 	return v, nil
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -80,6 +81,15 @@ func (s *Server) ShadowLoad() (string, error) {
 	if err != nil {
 		s.metrics.reloadErrs.Add(1)
 		return "", err
+	}
+	if s.cfg.Precision == F32 {
+		// Candidates convert fresh (never the recycled spare — that is
+		// reserved for serving generations, and a discarded shadow would
+		// strand it).
+		if err := m.EnableF32(nil); err != nil {
+			s.metrics.reloadErrs.Add(1)
+			return "", fmt.Errorf("serve: shadow load: enable float32: %w", err)
+		}
 	}
 	s.shadow.Store(&shadowState{model: m, source: s.cfg.ModelPath, loadedAt: time.Now()})
 	s.cfg.Logf("serve: shadow model loaded from %s (sample %.2f)", s.cfg.ModelPath, s.cfg.ShadowSample)
@@ -198,7 +208,13 @@ func (s *Server) shadowScore(sh *shadowState, x *mat.Matrix, scores []float64, k
 			opt.Strategies = []core.OODStrategy{s.cfg.Strategy}
 		}
 	}
-	res, err := sh.model.Infer(nil, x, opt)
+	var res *core.InferResult
+	var err error
+	if s.cfg.Precision == F32 {
+		res, err = sh.model.InferF32(nil, x, opt)
+	} else {
+		res, err = sh.model.Infer(nil, x, opt)
+	}
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
-# Records a machine-readable perf baseline for the five worker-pool
+# Records a machine-readable perf baseline for the worker-pool
 # benchmarks (MatMul, KMeans, AutoencoderEpoch, TargADFit,
-# TargADScore) plus the serving benchmarks (ServeScore: end-to-end
-# HTTP throughput at 1 vs N concurrent clients, micro-batching off/on;
-# ServeScoreMonitored: the same workload with the drift accumulator
-# armed, so the delta is the live-monitoring overhead), capturing both
-# ns/op and the allocation axis (B/op, allocs/op) so the trajectory
-# tracks the zero-allocation contracts alongside raw speed.
+# TargADScore, and TargADScoreF32 — the float32 inference path next to
+# its float64 twin, so the f32+SIMD speedup is one division away) plus
+# the serving benchmarks (ServeScore/ServeScoreF32: end-to-end HTTP
+# throughput at 1 vs N concurrent clients, micro-batching off/on, at
+# each precision; ServeScoreMonitored: the f64 workload with the drift
+# accumulator armed), capturing both ns/op and the allocation axis
+# (B/op, allocs/op) so the trajectory tracks the zero-allocation
+# contracts alongside raw speed.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR5.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR6.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -32,7 +34,8 @@ fi
 
 # The serving benchmarks drive their own client goroutines, so they
 # are not swept over -cpu; they run once at the machine's GOMAXPROCS.
-# The pattern matches both ServeScore and ServeScoreMonitored.
+# The prefix pattern matches ServeScore, ServeScoreF32, and
+# ServeScoreMonitored.
 serve_args=(test -run '^$' -bench 'BenchmarkServeScore'
     -benchmem -timeout 30m ./internal/serve)
 if [ -n "$benchtime" ]; then
@@ -72,8 +75,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 5,\n"
-    printf "  \"description\": \"worker-pool benchmarks plus online serving (ServeScore: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: same with the drift accumulator armed)\",\n"
+    printf "  \"pr\": 6,\n"
+    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

@@ -20,8 +20,26 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+# Cross-build gate for the f32 SIMD kernels: the noasm tag must keep
+# every package compiling against the pure-Go kernels, and the arm64
+# target (no amd64 assembly at all) must vet clean — both catch a
+# kernel API drifting without its fallback.
+echo "== cross-build gate (noasm, arm64) =="
+go build -tags noasm ./...
+GOARCH=arm64 go vet ./...
+
 echo "== go test =="
 go test ./...
+
+# Float32 path on the pure-Go kernels: the ulp-bound property tests,
+# the fixture tolerance pins, and the serving tolerance suite all rerun
+# with the assembly kernels compiled out, so CI covers both kernel
+# implementations even on machines where init selects AVX2.
+echo "== float32 fallback suite (-tags noasm) =="
+go test -tags noasm -count=1 ./internal/mat
+go test -tags noasm -count=1 \
+    -run 'TestF32Tolerance|TestInferF32|TestEnableF32' ./internal/core
+go test -tags noasm -count=1 -run 'TestServeF32' ./internal/serve
 
 # Race smoke: exercise the worker-pool kernels (mat GEMMs including the
 # packed-buffer blocked paths, k-means assignment, softmax batching),
