@@ -12,9 +12,17 @@
 //	  "probabilities": true
 //	}'
 //
+// Clients that want to skip JSON entirely can POST the same endpoint
+// with Content-Type application/x-targad-frame: a compact binary frame
+// of row-major little-endian float64 (or float32) features, answered
+// with a binary score frame (DESIGN.md "Wire protocol"). The binary
+// path decodes into pooled buffers with near-zero allocation and, with
+// -precision f32, feeds float32 frames straight into the SIMD kernels.
+//
 // Concurrent requests are micro-batched (-max-batch rows, -max-wait
 // window) into single inference passes. The queue is bounded
-// (-queue); when full, requests are shed with 429 + Retry-After. The
+// (-queue); when full, requests are shed with 429 + Retry-After.
+// Bodies beyond -max-request-bytes are rejected with 413. The
 // model hot-reloads from -model on SIGHUP or POST /reload with zero
 // failed requests — in-flight batches finish on the model they
 // started with. /healthz, /readyz, /metrics (Prometheus text),
@@ -62,6 +70,7 @@ func main() {
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait for an incomplete batch to fill")
 		queueDepth  = flag.Int("queue", 256, "bounded queue depth; beyond it requests shed with 429")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
+		maxReqBytes = flag.Int64("max-request-bytes", 32<<20, "max request body size in bytes; larger requests are rejected with 413")
 		strategy    = flag.String("strategy", "ED", "default identification strategy (MSP, ES, ED)")
 		precision   = flag.String("precision", "f64", "inference precision: f64 (bitwise-identical to offline scoring) or f32 (faster SIMD kernels, tolerance-bounded scores)")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -100,14 +109,15 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Config{
-		ModelPath:   *modelPath,
-		MaxBatch:    *maxBatch,
-		MaxWait:     *maxWait,
-		QueueDepth:  *queueDepth,
-		RetryAfter:  *retryAfter,
-		Strategy:    strat,
-		Precision:   prec,
-		EnablePprof: *enablePprof,
+		ModelPath:    *modelPath,
+		MaxBatch:     *maxBatch,
+		MaxWait:      *maxWait,
+		QueueDepth:   *queueDepth,
+		RetryAfter:   *retryAfter,
+		MaxBodyBytes: *maxReqBytes,
+		Strategy:     strat,
+		Precision:    prec,
+		EnablePprof:  *enablePprof,
 		Monitor: monitor.Config{
 			WindowRows: *monitorWindow,
 			WarnPSI:    *driftWarn,

@@ -27,11 +27,20 @@ type InferOptions struct {
 	Strategies []OODStrategy
 	// Probs requests the per-class probability matrix in the result.
 	Probs bool
+	// Reuse recycles a previous result's buffers instead of allocating
+	// fresh ones (the serving arenas pass their pooled InferResult
+	// here). The recycled result must not be read concurrently with the
+	// call. In reuse mode Probs buffers persist in the result even when
+	// Probs is false — only read result.Probs when Probs was requested —
+	// and stale decision vectors from strategies not in this call are
+	// dropped. Values are bitwise-identical to a fresh call.
+	Reuse *InferResult
 }
 
 // InferResult is one batch's inference output. Every field is
-// caller-owned: nothing references model workspaces, so results
-// outlive any later call on the model.
+// caller-owned: nothing references model workspaces, so results outlive
+// any later call on the model (and may be handed back via
+// InferOptions.Reuse to recycle their storage).
 type InferResult struct {
 	// Scores holds S^tar per row (Eq. 9), identical to Model.Score.
 	Scores []float64
@@ -72,6 +81,73 @@ func (mo *Model) releaseInferClf(r *nn.MLP) {
 	mo.inferMu.Unlock()
 }
 
+// ensureF64 grows s to n elements, keeping capacity like mat.Ensure.
+func ensureF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ensureKinds grows s to n elements, keeping capacity.
+func ensureKinds(s []dataset.Kind, n int) []dataset.Kind {
+	if cap(s) < n {
+		return make([]dataset.Kind, n)
+	}
+	return s[:n]
+}
+
+// checkThresholds resolves the calibrated threshold per requested
+// strategy into a flat array indexed by the strategy value (the three
+// strategies are 0, 1, 2), failing with ErrNotCalibrated on any gap.
+func (mo *Model) checkThresholds(strategies []OODStrategy) ([3]float64, error) {
+	var thresholds [3]float64
+	for _, s := range strategies {
+		thr, ok := mo.idThreshold[s]
+		if !ok {
+			return thresholds, fmt.Errorf("%w: %s", ErrNotCalibrated, s)
+		}
+		thresholds[s] = thr
+	}
+	return thresholds, nil
+}
+
+// prepareResult readies the result buffers for rows: the recycled
+// result from opt.Reuse when set (stale strategy vectors dropped so a
+// lookup for a strategy this call did not compute cannot hit old data),
+// a fresh one otherwise.
+func prepareResult(opt InferOptions, rows int) *InferResult {
+	res := opt.Reuse
+	if res == nil {
+		res = &InferResult{}
+	}
+	res.Scores = ensureF64(res.Scores, rows)
+	if len(opt.Strategies) > 0 {
+		if res.Kinds == nil {
+			res.Kinds = make(map[OODStrategy][]dataset.Kind, len(opt.Strategies))
+		} else {
+			for k := range res.Kinds {
+				keep := false
+				for _, s := range opt.Strategies {
+					if s == k {
+						keep = true
+						break
+					}
+				}
+				if !keep {
+					delete(res.Kinds, k)
+				}
+			}
+		}
+		for _, s := range opt.Strategies {
+			res.Kinds[s] = ensureKinds(res.Kinds[s], rows)
+		}
+	} else if res.Kinds != nil {
+		clear(res.Kinds)
+	}
+	return res
+}
+
 // Infer is the thread-safe inference path: it scores x on a pooled
 // parameter-sharing replica of the classifier, so any number of
 // goroutines may call it concurrently on one fitted (or loaded) Model.
@@ -95,24 +171,26 @@ func (mo *Model) Infer(ctx context.Context, x *mat.Matrix, opt InferOptions) (re
 	if x.Cols != mo.dim {
 		return nil, fmt.Errorf("targad: input dim %d, want %d", x.Cols, mo.dim)
 	}
-	thresholds := make(map[OODStrategy]float64, len(opt.Strategies))
-	for _, s := range opt.Strategies {
-		thr, ok := mo.idThreshold[s]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, s)
-		}
-		thresholds[s] = thr
+	thresholds, err := mo.checkThresholds(opt.Strategies)
+	if err != nil {
+		return nil, err
 	}
 
 	clf := mo.acquireInferClf()
 	defer mo.releaseInferClf(clf)
 
 	logits := clf.Forward(x)
-	// SoftmaxRows allocates a fresh matrix (not a layer workspace), so
-	// probs is caller-owned and survives the replica's release.
-	probs := nn.SoftmaxRows(logits)
+	// Softmax lands in a caller-owned matrix (never a layer workspace):
+	// the recycled result's Probs in reuse mode, a fresh allocation
+	// otherwise — SoftmaxRowsInto(nil, ·) is SoftmaxRows, so the values
+	// are the same either way.
+	var probsDst *mat.Matrix
+	if opt.Reuse != nil {
+		probsDst = opt.Reuse.Probs
+	}
+	probs := nn.SoftmaxRowsInto(probsDst, logits)
 
-	res = &InferResult{Scores: make([]float64, x.Rows)}
+	res = prepareResult(opt, x.Rows)
 	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			_, res.Scores[i] = mat.ArgMax(probs.Row(i)[:mo.m])
@@ -120,10 +198,6 @@ func (mo *Model) Infer(ctx context.Context, x *mat.Matrix, opt InferOptions) (re
 	})
 
 	if len(opt.Strategies) > 0 {
-		res.Kinds = make(map[OODStrategy][]dataset.Kind, len(opt.Strategies))
-		for _, s := range opt.Strategies {
-			res.Kinds[s] = make([]dataset.Kind, x.Rows)
-		}
 		normalCut := float64(mo.k) / float64(mo.m+mo.k)
 		for i := 0; i < x.Rows; i++ {
 			row := probs.Row(i)
@@ -143,7 +217,7 @@ func (mo *Model) Infer(ctx context.Context, x *mat.Matrix, opt InferOptions) (re
 			}
 		}
 	}
-	if opt.Probs {
+	if opt.Probs || opt.Reuse != nil {
 		res.Probs = probs
 	}
 	return res, nil

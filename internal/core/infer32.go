@@ -122,13 +122,9 @@ func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) 
 	if x.Cols != mo.dim {
 		return nil, fmt.Errorf("targad: input dim %d, want %d", x.Cols, mo.dim)
 	}
-	thresholds := make(map[OODStrategy]float64, len(opt.Strategies))
-	for _, s := range opt.Strategies {
-		thr, ok := mo.idThreshold[s]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, s)
-		}
-		thresholds[s] = thr
+	thresholds, err := mo.checkThresholds(opt.Strategies)
+	if err != nil {
+		return nil, err
 	}
 
 	rep := mo.acquireInferF32()
@@ -138,20 +134,59 @@ func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) 
 	defer mo.releaseInferF32(rep)
 
 	rep.xbuf = mat.ToF32(rep.xbuf, x)
-	logits := rep.inf.Forward(rep.xbuf)
+	return mo.inferF32Batch(rep, rep.xbuf, opt, thresholds), nil
+}
 
-	res = &InferResult{Scores: make([]float64, x.Rows)}
+// InferF32Rows is InferF32 for callers that already hold float32 rows —
+// the binary wire path decodes f32 frames straight into a Matrix32 and
+// scores them here with no f64 round-trip. For any x the result is
+// bitwise-identical to InferF32 on the widened rows: InferF32's first
+// step narrows its input back to exactly these float32 values.
+func (mo *Model) InferF32Rows(ctx context.Context, x *mat.Matrix32, opt InferOptions) (res *InferResult, err error) {
+	defer recoverToError("infer-f32", &err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	if mo.clf == nil {
+		return nil, errors.New("targad: model is not fitted")
+	}
+	if x.Cols != mo.dim {
+		return nil, fmt.Errorf("targad: input dim %d, want %d", x.Cols, mo.dim)
+	}
+	thresholds, err := mo.checkThresholds(opt.Strategies)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := mo.acquireInferF32()
+	if rep == nil {
+		return nil, ErrF32NotEnabled
+	}
+	defer mo.releaseInferF32(rep)
+
+	return mo.inferF32Batch(rep, x, opt, thresholds), nil
+}
+
+// inferF32Batch runs the forward pass and decision logic shared by
+// InferF32 and InferF32Rows. x32 is read-only and may be the replica's
+// own xbuf or a caller matrix.
+func (mo *Model) inferF32Batch(rep *f32Replica, x32 *mat.Matrix32, opt InferOptions, thresholds [3]float64) *InferResult {
+	logits := rep.inf.Forward(x32)
+
+	res := prepareResult(opt, x32.Rows)
 	if len(opt.Strategies) == 0 && !opt.Probs {
 		// Score-only requests skip materializing the distribution:
 		// SoftmaxHeadMax32 is bitwise-identical to the softmax+argmax
 		// below, so the answer doesn't depend on what else was asked
 		// for.
-		parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+		parallel.ForEachChunkMin(x32.Rows, 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				res.Scores[i] = mat.SoftmaxHeadMax32(logits.Row(i), mo.m)
 			}
 		})
-		return res, nil
+		return res
 	}
 
 	// Softmax lands in the replica's detached probs workspace (logits is
@@ -160,7 +195,7 @@ func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) 
 	rep.probs = mat.Ensure32(rep.probs, logits.Rows, logits.Cols)
 	probs := rep.probs
 
-	parallel.ForEachChunkMin(x.Rows, 256, func(lo, hi int) {
+	parallel.ForEachChunkMin(x32.Rows, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mat.Softmax32(probs.Row(i), logits.Row(i))
 			_, s := mat.ArgMax32(probs.Row(i)[:mo.m])
@@ -169,12 +204,8 @@ func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) 
 	})
 
 	if len(opt.Strategies) > 0 {
-		res.Kinds = make(map[OODStrategy][]dataset.Kind, len(opt.Strategies))
-		for _, s := range opt.Strategies {
-			res.Kinds[s] = make([]dataset.Kind, x.Rows)
-		}
 		normalCut := float64(mo.k) / float64(mo.m+mo.k)
-		for i := 0; i < x.Rows; i++ {
+		for i := 0; i < x32.Rows; i++ {
 			row := probs.Row(i)
 			var pNormal float64
 			for j := mo.m; j < mo.m+mo.k; j++ {
@@ -193,9 +224,9 @@ func (mo *Model) InferF32(ctx context.Context, x *mat.Matrix, opt InferOptions) 
 		}
 	}
 	if opt.Probs {
-		res.Probs = mat.ToF64(nil, probs)
+		res.Probs = mat.ToF64(res.Probs, probs)
 	}
-	return res, nil
+	return res
 }
 
 // idness32 computes the strategy's ID-ness score from one row's f32

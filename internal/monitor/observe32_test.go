@@ -1,0 +1,64 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"targad/internal/mat"
+)
+
+// TestObserve32MatchesObserve pins the f32 ingestion contract: a batch
+// observed through Observe32 updates the window exactly as Observe on
+// the widened rows would (float64(float32) is lossless), so the drift
+// verdict cannot depend on which wire encoding carried the traffic.
+func TestObserve32MatchesObserve(t *testing.T) {
+	p, _, _, _ := captureRef(t, 1500, 4)
+	cfg := Config{WindowRows: 600, Buckets: 3, MinRows: 100}
+	a64, err := NewAccumulator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a32, err := NewAccumulator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for batch := 0; batch < 6; batch++ {
+		x, scores, kinds := refData(150, 4, int64(7+batch))
+		x32 := mat.ToF32(nil, x)
+		wide := mat.ToF64(nil, x32) // what the f32 rows mean in f64
+		if batch%2 == 1 {
+			kinds = nil // undecided batches must agree too
+		}
+		a64.Observe(wide, scores, kinds)
+		a32.Observe32(x32, scores, kinds)
+	}
+
+	s64, s32 := a64.Snapshot(), a32.Snapshot()
+	if !reflect.DeepEqual(s64, s32) {
+		t.Fatalf("Observe32 window diverged from Observe:\nf64: %+v\nf32: %+v", s64, s32)
+	}
+	if s32.TotalRows != 900 {
+		t.Fatalf("TotalRows = %d, want 900", s32.TotalRows)
+	}
+}
+
+// TestObserve32RejectsBadInput mirrors the Observe guards.
+func TestObserve32RejectsBadInput(t *testing.T) {
+	p, _, _, _ := captureRef(t, 300, 4)
+	a, err := NewAccumulator(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe32(nil, nil, nil)
+	a.Observe32(mat.New32(2, 3), make([]float64, 2), nil) // wrong dim
+	a.Observe32(mat.New32(2, 4), make([]float64, 3), nil) // score length
+	if n := a.TotalRows(); n != 0 {
+		t.Fatalf("bad input observed %d rows", n)
+	}
+	x, scores, kinds := refData(10, 4, 3)
+	a.Observe32(mat.ToF32(nil, x), scores, kinds[:5]) // kinds dropped, rows kept
+	if n := a.TotalRows(); n != 10 {
+		t.Fatalf("TotalRows = %d, want 10", n)
+	}
+}

@@ -11,8 +11,11 @@ import (
 )
 
 // job is one scoring request queued for the micro-batching dispatcher.
+// Exactly one of x and x32 is set: x32 carries binary f32 frames on an
+// f32-precision server straight into the float32 kernels.
 type job struct {
-	x *mat.Matrix
+	x   *mat.Matrix
+	x32 *mat.Matrix32
 	// identify requests the 3-way decision with strategy; strict marks
 	// the strategy as client-chosen, so a missing calibration fails the
 	// request instead of silently omitting decisions.
@@ -21,10 +24,31 @@ type job struct {
 	strategy core.OODStrategy
 	probs    bool
 	resp     chan jobResult // buffered (1); the dispatcher never blocks
+	// arena is the pooled request scratch this job (and its matrix)
+	// lives in, nil for jobs built outside the HTTP handlers. Single-job
+	// batches score into arena.res via core.InferOptions.Reuse.
+	arena *reqArena
+}
+
+// rowCount returns the job's instance rows.
+func (j *job) rowCount() int {
+	if j.x32 != nil {
+		return j.x32.Rows
+	}
+	return j.x.Rows
+}
+
+// colCount returns the job's feature width.
+func (j *job) colCount() int {
+	if j.x32 != nil {
+		return j.x32.Cols
+	}
+	return j.x.Cols
 }
 
 // jobResult is the dispatcher's answer for one job. Slices view the
-// batch-level result arrays and are read-only after send.
+// batch-level result arrays (which may live in the job's own arena)
+// and are read-only after send.
 type jobResult struct {
 	scores  []float64
 	kinds   []dataset.Kind // nil when identification was skipped
@@ -64,13 +88,13 @@ func (s *Server) dispatch() {
 // without waiting, so a saturated queue forms full batches instantly.
 func (s *Server) collectBatch(first *job) []*job {
 	jobs := []*job{first}
-	rows := first.x.Rows
+	rows := first.rowCount()
 	// Fast drain: whatever is queued right now joins for free.
 	for rows < s.cfg.MaxBatch {
 		select {
 		case j := <-s.queue:
 			jobs = append(jobs, j)
-			rows += j.x.Rows
+			rows += j.rowCount()
 			continue
 		default:
 		}
@@ -85,7 +109,7 @@ func (s *Server) collectBatch(first *job) []*job {
 		select {
 		case j := <-s.queue:
 			jobs = append(jobs, j)
-			rows += j.x.Rows
+			rows += j.rowCount()
 		case <-timer.C:
 			return jobs
 		case <-s.done:
@@ -112,7 +136,9 @@ func (s *Server) drainQueue() {
 // member jobs. The model generation is captured once, so a hot-reload
 // racing this batch lets it finish on the model it started with; in
 // f32 mode the capture also pins the generation against parameter
-// buffer reclaim (see precision.go).
+// buffer reclaim (see precision.go). Mixed-precision batches (f32
+// frames coalesced with f64 traffic) split into one pass per element
+// type; in the common homogeneous case no split is allocated.
 func (s *Server) runBatch(jobs []*job) {
 	lm := s.acquireModel()
 	if lm == nil {
@@ -123,35 +149,77 @@ func (s *Server) runBatch(jobs []*job) {
 	}
 	defer s.releaseModel(lm)
 
+	n32 := 0
+	for _, j := range jobs {
+		if j.x32 != nil {
+			n32++
+		}
+	}
+	switch {
+	case n32 == 0:
+		s.runGroup(lm, jobs, false)
+	case n32 == len(jobs):
+		s.runGroup(lm, jobs, true)
+	default:
+		g64 := make([]*job, 0, len(jobs)-n32)
+		g32 := make([]*job, 0, n32)
+		for _, j := range jobs {
+			if j.x32 != nil {
+				g32 = append(g32, j)
+			} else {
+				g64 = append(g64, j)
+			}
+		}
+		s.runGroup(lm, g64, false)
+		s.runGroup(lm, g32, true)
+	}
+}
+
+// runGroup scores one same-element-type slice of the batch.
+func (s *Server) runGroup(lm *loadedModel, jobs []*job, is32 bool) {
 	// Jobs whose width disagrees with the first job's cannot share its
 	// GEMM pass; fail them individually (the model's own dim check
 	// still guards the survivors).
-	cols := jobs[0].x.Cols
+	cols := jobs[0].colCount()
 	batch := jobs[:0]
 	var rows int
 	for _, j := range jobs {
-		if j.x.Cols != cols {
+		if j.colCount() != cols {
 			j.resp <- jobResult{err: errors.New("serve: instance width differs from batch")}
 			continue
 		}
 		batch = append(batch, j)
-		rows += j.x.Rows
+		rows += j.rowCount()
 	}
 	if len(batch) == 0 {
 		return
 	}
 
-	x := batch[0].x
-	if len(batch) > 1 {
-		x = mat.New(rows, cols)
-		off := 0
-		for _, j := range batch {
-			copy(x.Data[off:], j.x.Data)
-			off += len(j.x.Data)
+	var x *mat.Matrix
+	var x32 *mat.Matrix32
+	if is32 {
+		x32 = batch[0].x32
+		if len(batch) > 1 {
+			x32 = mat.New32(rows, cols)
+			off := 0
+			for _, j := range batch {
+				copy(x32.Data[off:], j.x32.Data)
+				off += len(j.x32.Data)
+			}
+		}
+	} else {
+		x = batch[0].x
+		if len(batch) > 1 {
+			x = mat.New(rows, cols)
+			off := 0
+			for _, j := range batch {
+				copy(x.Data[off:], j.x.Data)
+				off += len(j.x.Data)
+			}
 		}
 	}
 
-	res, version, err := s.infer(lm, x, batch)
+	res, version, err := s.infer(lm, x, x32, batch)
 	if err != nil {
 		for _, j := range batch {
 			j.resp <- jobResult{err: err}
@@ -160,8 +228,9 @@ func (s *Server) runBatch(jobs []*job) {
 	}
 
 	off := 0
+	single := len(batch) == 1
 	for _, j := range batch {
-		n := j.x.Rows
+		n := j.rowCount()
 		out := jobResult{scores: res.Scores[off : off+n : off+n], version: version}
 		if j.identify {
 			if kinds, ok := res.Kinds[j.strategy]; ok {
@@ -171,7 +240,11 @@ func (s *Server) runBatch(jobs []*job) {
 			}
 		}
 		if j.probs && out.err == nil {
-			out.probs = &mat.Matrix{Rows: n, Cols: res.Probs.Cols, Data: res.Probs.Data[off*res.Probs.Cols : (off+n)*res.Probs.Cols]}
+			if single {
+				out.probs = res.Probs
+			} else {
+				out.probs = &mat.Matrix{Rows: n, Cols: res.Probs.Cols, Data: res.Probs.Data[off*res.Probs.Cols : (off+n)*res.Probs.Cols]}
+			}
 		}
 		j.resp <- out
 		off += n
@@ -180,52 +253,79 @@ func (s *Server) runBatch(jobs []*job) {
 
 // infer runs the batch's single thread-safe inference pass, computing
 // the union of the member jobs' needs (calibrated strategies,
-// probabilities) in one forward.
-func (s *Server) infer(lm *loadedModel, x *mat.Matrix, batch []*job) (*core.InferResult, int64, error) {
+// probabilities) in one forward. Single-job batches backed by a request
+// arena score into the arena's recycled InferResult, so the steady
+// direct path allocates nothing here.
+func (s *Server) infer(lm *loadedModel, x *mat.Matrix, x32 *mat.Matrix32, batch []*job) (*core.InferResult, int64, error) {
 	opt := core.InferOptions{}
-	seen := map[core.OODStrategy]bool{}
+	var strategies []core.OODStrategy
+	if len(batch) == 1 && batch[0].arena != nil {
+		a := batch[0].arena
+		strategies = a.strategies[:0]
+		opt.Reuse = &a.res
+	}
+	var seen [3]bool
 	for _, j := range batch {
 		if j.probs {
 			opt.Probs = true
 		}
-		if j.identify && !seen[j.strategy] {
-			seen[j.strategy] = true
+		if st := int(j.strategy); j.identify && st >= 0 && st < len(seen) && !seen[st] {
+			seen[st] = true
 			if _, ok := lm.model.IdentifyThreshold(j.strategy); ok {
-				opt.Strategies = append(opt.Strategies, j.strategy)
+				strategies = append(strategies, j.strategy)
 			}
 		}
 	}
+	opt.Strategies = strategies
 
 	faultinject.Sleep(faultinject.ServeSlowScore)
 	if v, ok := faultinject.Value(faultinject.ServeDriftTraffic); ok {
 		// Injected upstream data drift: shift every feature of the
 		// batch before scoring, so the drift windows see it exactly as
 		// real shifted traffic.
-		for i := range x.Data {
-			x.Data[i] += v
+		if x32 != nil {
+			f := float32(v)
+			for i := range x32.Data {
+				x32.Data[i] += f
+			}
+		} else {
+			for i := range x.Data {
+				x.Data[i] += v
+			}
 		}
 	}
 	var res *core.InferResult
 	var err error
-	if s.cfg.Precision == F32 {
+	var rows int
+	switch {
+	case x32 != nil:
+		rows = x32.Rows
+		res, err = lm.model.InferF32Rows(nil, x32, opt)
+	case s.cfg.Precision == F32:
+		rows = x.Rows
 		res, err = lm.model.InferF32(nil, x, opt)
-	} else {
+	default:
+		rows = x.Rows
 		res, err = lm.model.Infer(nil, x, opt)
 	}
 	if err != nil {
 		return nil, lm.version, err
 	}
 	s.metrics.batches.Add(1)
-	s.metrics.batchRows.Add(int64(x.Rows))
-	s.metrics.rows.Add(int64(x.Rows))
+	s.metrics.batchRows.Add(int64(rows))
+	s.metrics.rows.Add(int64(rows))
 
 	// Feed the drift window and (when active) the shadow evaluation.
-	// Both read the batch results after the fact: zero allocations and
-	// no extra work on the reply path.
+	// Binary-path rows are observed identically to JSON rows — the f32
+	// window entry point widens each element exactly.
 	kinds := res.Kinds[s.cfg.Strategy]
 	if lm.mon != nil {
-		lm.mon.Observe(x, res.Scores, kinds)
+		if x32 != nil {
+			lm.mon.Observe32(x32, res.Scores, kinds)
+		} else {
+			lm.mon.Observe(x, res.Scores, kinds)
+		}
 	}
-	s.maybeShadow(x, res.Scores, kinds)
+	s.maybeShadow(x, x32, res.Scores, kinds)
 	return res, lm.version, nil
 }

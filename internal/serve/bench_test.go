@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"targad/internal/core"
+	"targad/internal/wire"
 )
 
 // BenchmarkServeScore measures end-to-end serving throughput/latency
@@ -44,6 +45,145 @@ func BenchmarkServeScoreMonitored(b *testing.B) {
 		b.Fatal("v2 fixture carries no profile; monitoring would not arm")
 	}
 	benchServeScore(b, m, F64)
+}
+
+// replayBody is a resettable request body so one http.Request object
+// serves every benchmark iteration without per-op reader allocations.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (r *replayBody) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *replayBody) Close() error { return nil }
+
+// nullResponseWriter swallows the response, reusing one header map, so
+// the benchmark counts the serving path's allocations and nothing
+// else.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(status int)      { w.status = status }
+
+// BenchmarkServeScoreBinary measures the binary protocol's serving
+// path in-process (handler invoked directly, no TCP/net/http client
+// overhead) so allocs/op reflects the pooled-arena design alone. The
+// ci.sh gate holds this at <=9 allocs/op against the JSON path's ~146.
+// f32 serves an f32 frame on an f32-precision server: the payload
+// decodes straight into the float32 kernels with no f64 round-trip.
+func BenchmarkServeScoreBinary(b *testing.B) {
+	rows := testRows(4, 123)
+	rows32 := make([][]float32, len(rows))
+	for i, row := range rows {
+		rows32[i] = make([]float32, len(row))
+		for j, v := range row {
+			rows32[i][j] = float32(v)
+		}
+	}
+	f64frame, err := wire.AppendRequestF64(nil, rows, int(core.ED), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f32frame, err := wire.AppendRequestF32(nil, rows32, int(core.ED), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		prec  Precision
+		frame []byte
+	}{
+		{"f64", F64, f64frame},
+		{"f32", F32, f32frame},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := New(Config{MaxBatch: 1, Strategy: core.ED, Precision: tc.prec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.SetModel(loadFixtureModel(b), "bench"); err != nil {
+				b.Fatal(err)
+			}
+			h := s.Handler()
+
+			body := &replayBody{data: tc.frame}
+			req, err := http.NewRequest(http.MethodPost, "/score", body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Content-Type", wire.ContentType)
+			req.ContentLength = int64(len(tc.frame))
+			w := &nullResponseWriter{h: make(http.Header)}
+
+			// Warm the pools so the steady state is what gets measured.
+			for i := 0; i < 16; i++ {
+				body.off = 0
+				h.ServeHTTP(w, req)
+			}
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body.off = 0
+				h.ServeHTTP(w, req)
+			}
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		})
+	}
+}
+
+// BenchmarkServeScoreBinaryHTTP is the over-the-wire twin of
+// BenchmarkServeScoreBinary (real client, real listener), comparable
+// to BenchmarkServeScore's JSON rows. Named outside the
+// ServeScoreBinary/ gate pattern on purpose: net/http's own
+// per-request allocations are not the serving path's budget.
+func BenchmarkServeScoreBinaryHTTP(b *testing.B) {
+	frame, err := wire.AppendRequestF64(nil, testRows(4, 123), int(core.ED), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{MaxBatch: 1, Strategy: core.ED})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SetModel(loadFixtureModel(b), "bench"); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/score", wire.ContentType, bytes.NewReader(frame))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
 }
 
 func benchServeScore(b *testing.B, model *core.Model, prec Precision) {

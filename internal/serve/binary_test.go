@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"targad/internal/core"
+	"targad/internal/wire"
+)
+
+// postFrame posts one binary frame to /score and returns the status
+// and raw response body. chunked strips the Content-Length (the server
+// then cannot cross-check it against the frame header).
+func postFrame(t testing.TB, ts *httptest.Server, frame []byte, chunked bool) (int, []byte) {
+	t.Helper()
+	var body io.Reader = bytes.NewReader(frame)
+	if chunked {
+		body = struct{ io.Reader }{body} // hide the length: forces chunked encoding
+	}
+	resp, err := ts.Client().Post(ts.URL+"/score", wire.ContentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// scoreFrame posts a frame expecting success and decodes the response.
+func scoreFrame(t testing.TB, ts *httptest.Server, frame []byte) *wire.Response {
+	t.Helper()
+	status, raw := postFrame(t, ts, frame, false)
+	if status != http.StatusOK {
+		if _, msg, err := wire.DecodeErrorFrame(raw); err == nil {
+			t.Fatalf("binary score: status %d: %s", status, msg)
+		}
+		t.Fatalf("binary score: status %d", status)
+	}
+	r, err := wire.DecodeResponse(raw)
+	if err != nil {
+		t.Fatalf("decode response frame: %v", err)
+	}
+	return r
+}
+
+func scrapeMetrics(t testing.TB, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// requireBitwise compares a decoded binary response against the
+// offline reference, element for element with ==.
+func requireBitwise(t testing.TB, got *wire.Response, want offline, probs bool) {
+	t.Helper()
+	if len(got.Scores) != len(want.scores) {
+		t.Fatalf("scores: %d rows, want %d", len(got.Scores), len(want.scores))
+	}
+	for i := range want.scores {
+		if got.Scores[i] != want.scores[i] {
+			t.Fatalf("row %d: score %v != offline %v", i, got.Scores[i], want.scores[i])
+		}
+	}
+	if got.Decisions == nil {
+		t.Fatal("response carries no decisions")
+	}
+	for i, k := range got.Decisions {
+		if k.String() != want.decisions[i] {
+			t.Fatalf("row %d: decision %q != offline %q", i, k.String(), want.decisions[i])
+		}
+	}
+	if !probs {
+		if got.Probs != nil {
+			t.Fatal("probabilities present without the request flag")
+		}
+		return
+	}
+	if got.Probs == nil {
+		t.Fatal("probabilities missing")
+	}
+	if got.Probs.Rows != want.probs.Rows || got.Probs.Cols != want.probs.Cols {
+		t.Fatalf("probs %dx%d, want %dx%d", got.Probs.Rows, got.Probs.Cols, want.probs.Rows, want.probs.Cols)
+	}
+	for i, v := range want.probs.Data {
+		if got.Probs.Data[i] != v {
+			t.Fatalf("probs[%d]: %v != offline %v", i, got.Probs.Data[i], v)
+		}
+	}
+}
+
+// TestBinaryScoreParity: a binary f64 frame must produce scores,
+// decisions, and probabilities bitwise-identical to both the offline
+// reference and the JSON path answering the same rows.
+func TestBinaryScoreParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED})
+	ref := loadFixtureModel(t)
+	for _, rows := range []int{1, 7, 33} {
+		batch := testRows(rows, int64(100+rows))
+		want := offlineExpect(t, ref, batch, core.ED)
+
+		frame, err := wire.AppendRequestF64(nil, batch, int(core.ED), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := scoreFrame(t, ts, frame)
+		requireBitwise(t, got, want, true)
+
+		status, jgot, bad := postScore(t, ts.Client(), ts.URL, scoreRequest{Instances: batch, Strategy: "ED", Probabilities: true})
+		if status != http.StatusOK {
+			t.Fatalf("JSON twin: %d: %s", status, bad.Error)
+		}
+		for i := range jgot.Scores {
+			if jgot.Scores[i] != got.Scores[i] {
+				t.Fatalf("row %d: JSON score %v != binary score %v", i, jgot.Scores[i], got.Scores[i])
+			}
+			if jgot.Decisions[i] != got.Decisions[i].String() {
+				t.Fatalf("row %d: JSON decision %q != binary %q", i, jgot.Decisions[i], got.Decisions[i])
+			}
+		}
+
+		// Default strategy (no strategy byte): server default is ED too.
+		frame, err = wire.AppendRequestF64(nil, batch, -1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = scoreFrame(t, ts, frame)
+		requireBitwise(t, got, want, false)
+	}
+}
+
+// TestBinaryF32Frames: an f32 frame on an f64 server widens each
+// element exactly, so answers are bitwise-identical to the f64 path on
+// the widened rows; on an f32-precision server the frame feeds the
+// float32 kernels directly and must match the JSON path (which
+// converts the same widened rows back down) bit for bit.
+func TestBinaryF32Frames(t *testing.T) {
+	rows32 := make([][]float32, 9)
+	widened := make([][]float64, len(rows32))
+	src := testRows(len(rows32), 321)
+	for i, row := range src {
+		rows32[i] = make([]float32, len(row))
+		widened[i] = make([]float64, len(row))
+		for j, v := range row {
+			f := float32(v)
+			rows32[i][j] = f
+			widened[i][j] = float64(f)
+		}
+	}
+	frame, err := wire.AppendRequestF32(nil, rows32, int(core.ED), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("f64-server", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED})
+		want := offlineExpect(t, loadFixtureModel(t), widened, core.ED)
+		requireBitwise(t, scoreFrame(t, ts, frame), want, true)
+	})
+
+	t.Run("f32-server", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED, Precision: F32})
+		got := scoreFrame(t, ts, frame)
+		status, jgot, bad := postScore(t, ts.Client(), ts.URL, scoreRequest{Instances: widened, Strategy: "ED", Probabilities: true})
+		if status != http.StatusOK {
+			t.Fatalf("JSON twin: %d: %s", status, bad.Error)
+		}
+		for i := range jgot.Scores {
+			if jgot.Scores[i] != got.Scores[i] {
+				t.Fatalf("row %d: f32 binary score %v != f32 JSON score %v", i, got.Scores[i], jgot.Scores[i])
+			}
+			if jgot.Decisions[i] != got.Decisions[i].String() {
+				t.Fatalf("row %d: decision %q != %q", i, got.Decisions[i], jgot.Decisions[i])
+			}
+		}
+	})
+}
+
+// TestBinaryMixedProtocolConcurrent drives binary and JSON clients
+// through the micro-batcher at once; every response must stay
+// bitwise-identical to the offline reference for its own rows. Run
+// under -race this is the mixed-protocol acceptance.
+func TestBinaryMixedProtocolConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxBatch:   64,
+		QueueDepth: 512,
+		Strategy:   core.ED,
+	})
+	ref := loadFixtureModel(t)
+	const clients = 8
+	const iters = 6
+	batches := make([][][]float64, clients)
+	wants := make([]offline, clients)
+	for c := range batches {
+		batches[c] = testRows(3+c, int64(1000+c))
+		wants[c] = offlineExpect(t, ref, batches[c], core.ED)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			binaryClient := c%2 == 0
+			for i := 0; i < iters; i++ {
+				if binaryClient {
+					frame, err := wire.AppendRequestF64(nil, batches[c], int(core.ED), true)
+					if err != nil {
+						errs <- err
+						return
+					}
+					var body io.Reader = bytes.NewReader(frame)
+					resp, err := ts.Client().Post(ts.URL+"/score", wire.ContentType, body)
+					if err != nil {
+						errs <- err
+						return
+					}
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						continue // shed under load is legal
+					}
+					r, err := wire.DecodeResponse(raw)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range wants[c].scores {
+						if r.Scores[j] != wants[c].scores[j] || r.Decisions[j].String() != wants[c].decisions[j] {
+							t.Errorf("client %d: binary answer diverged from offline", c)
+							return
+						}
+					}
+				} else {
+					status, got, _ := postScore(t, ts.Client(), ts.URL, scoreRequest{Instances: batches[c], Strategy: "ED", Probabilities: true})
+					if status == http.StatusTooManyRequests {
+						continue
+					}
+					if status != http.StatusOK {
+						t.Errorf("client %d: JSON status %d", c, status)
+						return
+					}
+					for j := range wants[c].scores {
+						if got.Scores[j] != wants[c].scores[j] || got.Decisions[j] != wants[c].decisions[j] {
+							t.Errorf("client %d: JSON answer diverged from offline", c)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryStreamedResponse: batches past wire.StreamChunkRows rows
+// come back as a chunk sequence with the streamed flag, still
+// bitwise-identical to offline scoring.
+func TestBinaryStreamedResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED})
+	rows := wire.StreamChunkRows + wire.StreamChunkRows/2
+	batch := testRows(rows, 555)
+	frame, err := wire.AppendRequestF64(nil, batch, int(core.ED), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scoreFrame(t, ts, frame)
+	if !got.Streamed {
+		t.Fatalf("%d-row response must set the streamed flag", rows)
+	}
+	if got.Chunks != 2 {
+		t.Fatalf("%d rows arrived in %d chunks, want 2", rows, got.Chunks)
+	}
+	want := offlineExpect(t, loadFixtureModel(t), batch, core.ED)
+	requireBitwise(t, got, want, false)
+}
+
+// rawRequestHeader hand-builds a request frame header so tests can
+// announce geometry no encoder would.
+func rawRequestHeader(rows, features uint32, flags, strategy byte) []byte {
+	b := []byte{'T', 'G', 'A', 'D', wire.Version, wire.TypeRequest, flags, strategy, 0, 0, 0, 0, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(b[8:12], rows)
+	binary.LittleEndian.PutUint32(b[12:16], features)
+	return b
+}
+
+// TestBinaryFrameFaults is the malformed-input suite: truncated
+// headers and payloads, header/Content-Length disagreement, trailing
+// bytes, corrupt magic — every one must come back as a typed wire
+// error frame with the right status, never a hang or panic, and the
+// connection-level accounting must show up in /metrics.
+func TestBinaryFrameFaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED, MaxBodyBytes: 1 << 16})
+	good, err := wire.AppendRequestF64(nil, testRows(2, 1), int(core.ED), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[0] = 'X' // bad magic
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 99
+
+	oversize := rawRequestHeader(1<<20, 100, 0, 0) // announces ~800 MB
+
+	cases := []struct {
+		name    string
+		frame   []byte
+		chunked bool
+		status  int
+		errPart string
+	}{
+		{"truncated-header", good[:10], true, http.StatusBadRequest, "truncated request header"},
+		{"truncated-payload", good[:len(good)-16], true, http.StatusBadRequest, "truncated feature block"},
+		{"length-mismatch", good[:len(good)-16], false, http.StatusBadRequest, "Content-Length"},
+		{"trailing-bytes", append(append([]byte(nil), good...), 1, 2, 3), true, http.StatusBadRequest, "trailing bytes"},
+		{"trailing-vs-length", append(append([]byte(nil), good...), 1, 2, 3), false, http.StatusBadRequest, "Content-Length"},
+		{"bad-magic", corrupt, false, http.StatusBadRequest, "magic"},
+		{"bad-version", badVersion, false, http.StatusBadRequest, "version"},
+		{"announced-too-large", oversize, true, http.StatusRequestEntityTooLarge, "exceeds"},
+		{"empty-body", nil, true, http.StatusBadRequest, "truncated request header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := postFrame(t, ts, tc.frame, tc.chunked)
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (body %q)", status, tc.status, raw)
+			}
+			code, msg, err := wire.DecodeErrorFrame(raw)
+			if err != nil {
+				t.Fatalf("error response is not a wire error frame: %v (%q)", err, raw)
+			}
+			if code != tc.status {
+				t.Fatalf("error frame code %d, want %d", code, tc.status)
+			}
+			if !strings.Contains(msg, tc.errPart) {
+				t.Fatalf("error %q does not mention %q", msg, tc.errPart)
+			}
+		})
+	}
+
+	// A good frame still scores after all that abuse.
+	if got := scoreFrame(t, ts, good); len(got.Scores) != 2 {
+		t.Fatalf("post-fault request returned %d scores", len(got.Scores))
+	}
+
+	text := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"targad_serve_request_too_large_total 1",
+		"targad_serve_binary_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestJSONBodyLimit413: oversized JSON bodies now map to 413 with the
+// too-large counter, matching the binary path's treatment.
+func TestJSONBodyLimit413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1, Strategy: core.ED, MaxBodyBytes: 256})
+	rows := testRows(8, 3)
+	status, _, bad := postScore(t, ts.Client(), ts.URL, scoreRequest{Instances: rows})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON body: status %d, want 413 (%s)", status, bad.Error)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts), "targad_serve_request_too_large_total 1") {
+		t.Fatal("413 not counted in targad_serve_request_too_large_total")
+	}
+}
+
+// TestBinaryRowsObserved: binary frames must feed the drift window
+// exactly like JSON rows (f32 entries widened element-exact) and be
+// sampled by an active shadow.
+func TestBinaryRowsObserved(t *testing.T) {
+	s, ts := newV2TestServer(t, Config{
+		MaxBatch:     1,
+		Strategy:     core.ED,
+		ShadowSample: 1,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/reload?shadow=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shadow reload: %d", resp.StatusCode)
+	}
+
+	rows := testRows(16, 99)
+	frame, err := wire.AppendRequestF64(nil, rows, int(core.ED), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 3
+	for i := 0; i < batches; i++ {
+		scoreFrame(t, ts, frame)
+	}
+	d := getDrift(t, ts)
+	if !d.Enabled {
+		t.Fatal("v2 fixture must arm monitoring")
+	}
+	if d.TotalRows != int64(batches*len(rows)) {
+		t.Fatalf("drift window saw %d rows from %d binary batches, want %d", d.TotalRows, batches, batches*len(rows))
+	}
+	waitShadow(t, s, batches)
+
+	// f32 frames observe through the widening entry point.
+	rows32 := make([][]float32, 4)
+	for i := range rows32 {
+		rows32[i] = make([]float32, fixtureDim)
+		for j, v := range rows[i] {
+			rows32[i][j] = float32(v)
+		}
+	}
+	f32frame, err := wire.AppendRequestF32(nil, rows32, int(core.ED), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreFrame(t, ts, f32frame)
+	if d := getDrift(t, ts); d.TotalRows != int64(batches*len(rows)+len(rows32)) {
+		t.Fatalf("f32 frame rows not observed: window %d", d.TotalRows)
+	}
+	waitShadow(t, s, batches+1)
+}
+
+func waitShadow(t testing.TB, s *Server, want int64) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if s.ShadowBatches() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("shadow scored %d batches, want %d", s.ShadowBatches(), want)
+}

@@ -20,6 +20,8 @@ type metrics struct {
 	requestOK    atomic.Int64 // scoring requests answered 200
 	requestErrs  atomic.Int64 // scoring requests answered 4xx/5xx (shed excluded)
 	shed         atomic.Int64 // scoring requests shed with 429
+	tooLarge     atomic.Int64 // scoring requests rejected 413 (body over MaxBodyBytes)
+	binaryReqs   atomic.Int64 // scoring requests carried as binary wire frames
 	rows         atomic.Int64 // instance rows scored
 	batches      atomic.Int64 // inference passes run
 	batchRows    atomic.Int64 // rows across all passes (avg batch = batchRows/batches)
@@ -59,6 +61,8 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, modelVersion int6
 	counter("targad_serve_requests_ok_total", "Scoring requests answered successfully.", m.requestOK.Load())
 	counter("targad_serve_request_errors_total", "Scoring requests that failed (shed excluded).", m.requestErrs.Load())
 	counter("targad_serve_shed_total", "Scoring requests shed with 429 because the queue was full.", m.shed.Load())
+	counter("targad_serve_request_too_large_total", "Scoring requests rejected with 413 for exceeding the body limit.", m.tooLarge.Load())
+	counter("targad_serve_binary_requests_total", "Scoring requests carried as binary wire frames.", m.binaryReqs.Load())
 	counter("targad_serve_rows_total", "Instance rows scored.", m.rows.Load())
 	counter("targad_serve_batches_total", "Inference passes run (micro-batches plus direct calls).", m.batches.Load())
 	counter("targad_serve_batch_rows_total", "Rows across all inference passes.", m.batchRows.Load())

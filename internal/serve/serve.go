@@ -1,12 +1,15 @@
-// Package serve is the online scoring service: an HTTP JSON front end
-// over a persisted TargAD model (internal/core's gob envelope) built
-// for sustained concurrent traffic.
+// Package serve is the online scoring service: an HTTP front end over
+// a persisted TargAD model (internal/core's gob envelope) built for
+// sustained concurrent traffic. Requests carry JSON by default, or the
+// binary wire protocol (internal/wire, DESIGN.md §12) when the
+// Content-Type is application/x-targad-frame — same scores, near-zero
+// per-request garbage.
 //
 // Architecture (DESIGN.md §8):
 //
-//   - Requests decode into jobs on a bounded queue. A full queue sheds
-//     the request with 429 and a Retry-After header instead of letting
-//     latency grow without bound.
+//   - Requests decode into pooled per-request arenas and become jobs on
+//     a bounded queue. A full queue sheds the request with 429 and a
+//     Retry-After header instead of letting latency grow without bound.
 //   - A single dispatcher goroutine micro-batches queued jobs — up to
 //     MaxBatch rows, waiting at most MaxWait from the first job — into
 //     one core.Model.Infer pass, so the blocked GEMM amortizes across
@@ -23,10 +26,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -40,6 +45,7 @@ import (
 	"targad/internal/faultinject"
 	"targad/internal/mat"
 	"targad/internal/monitor"
+	"targad/internal/wire"
 )
 
 // Config tunes the service. The zero value of every field has a usable
@@ -366,10 +372,31 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// jsonWriter is a pooled encode buffer: one json.Encoder bound to one
+// bytes.Buffer, so writeJSON never rebuilds encoder state per response.
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	return jw
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jw := jsonPool.Get().(*jsonWriter)
+	jw.buf.Reset()
+	if err := jw.enc.Encode(v); err != nil {
+		jw.buf.Reset()
+		fmt.Fprintf(&jw.buf, "{\"error\":%q}\n", err.Error())
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(jw.buf.Bytes())
+	jsonPool.Put(jw)
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -381,123 +408,205 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		s.handleScoreBinary(w, r, start)
+		return
+	}
+
+	a := acquireArena()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req scoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	var err error
+	a.body, err = readAllInto(a.body[:0], r.Body)
+	if err != nil {
+		releaseArena(a)
+		s.metrics.requestErrs.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.tooLarge.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Reset before decode: json.Unmarshal reuses Instances' backing
+	// arrays (outer and per-row) when capacity allows.
+	a.jreq.Instances = a.jreq.Instances[:0]
+	a.jreq.Strategy = ""
+	a.jreq.Probabilities = false
+	if err := json.Unmarshal(a.body, &a.jreq); err != nil {
+		releaseArena(a)
 		s.metrics.requestErrs.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	x, err := instancesMatrix(req.Instances)
+	a.x, err = instancesMatrixInto(a.x, a.jreq.Instances)
 	if err != nil {
+		releaseArena(a)
 		s.metrics.requestErrs.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	strat := s.cfg.Strategy
 	strict := false
-	if req.Strategy != "" {
-		st, ok := ParseStrategy(req.Strategy)
+	if a.jreq.Strategy != "" {
+		st, ok := ParseStrategy(a.jreq.Strategy)
 		if !ok {
+			msg := fmt.Sprintf("unknown strategy %q (want MSP, ES, or ED)", a.jreq.Strategy)
+			releaseArena(a)
 			s.metrics.requestErrs.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q (want MSP, ES, or ED)", req.Strategy)})
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 			return
 		}
 		strat, strict = st, true
 	}
 	s.metrics.requests.Add(1)
 
-	j := &job{
-		x:        x,
-		identify: true,
-		strict:   strict,
-		strategy: strat,
-		probs:    req.Probabilities,
-		resp:     make(chan jobResult, 1),
-	}
+	j := &a.j
+	j.x, j.x32 = a.x, nil
+	j.identify = true
+	j.strict = strict
+	j.strategy = strat
+	j.probs = a.jreq.Probabilities
+	j.arena = a
 
-	var res jobResult
+	res, ok, recycle := s.awaitScore(j, w, r, false)
+	if !ok {
+		if recycle {
+			releaseArena(a)
+		}
+		return
+	}
+	s.writeScoreResult(w, a, res, start)
+	releaseArena(a)
+}
+
+// awaitScore runs one job through the dispatcher (or directly when
+// batching is off) and returns its result. ok=false means no result:
+// the request was already answered (shed, draining) or the client
+// left; recycle reports whether the job's arena may safely re-enter
+// the pool — false whenever the dispatcher might still touch it.
+func (s *Server) awaitScore(j *job, w http.ResponseWriter, r *http.Request, binary bool) (jobResult, bool, bool) {
 	if s.cfg.MaxBatch > 1 {
 		select {
 		case s.queue <- j:
 		default:
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full, retry later"})
-			return
+			if binary {
+				writeWireError(w, http.StatusTooManyRequests, "scoring queue full, retry later")
+			} else {
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "scoring queue full, retry later"})
+			}
+			return jobResult{}, false, true
 		}
 		select {
-		case res = <-j.resp:
+		case res := <-j.resp:
+			return res, true, true
 		case <-r.Context().Done():
 			// The client is gone; the dispatcher's buffered send still
-			// completes, nothing leaks.
-			return
+			// completes, and the arena stays out of the pool because the
+			// dispatcher may still be writing into it.
+			return jobResult{}, false, false
 		case <-s.done:
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
-			return
+			if binary {
+				writeWireError(w, http.StatusServiceUnavailable, errDraining.Error())
+			} else {
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
+			}
+			return jobResult{}, false, false
 		}
+	}
+	if j.arena != nil {
+		s.runBatch(j.arena.jobs[:1])
 	} else {
 		s.runBatch([]*job{j})
-		res = <-j.resp
 	}
-	s.writeScoreResult(w, res, start)
+	return <-j.resp, true, true
 }
 
-// writeScoreResult maps one jobResult to the HTTP response and records
+// scoreErrStatus maps a scoring error to its HTTP status, shared by
+// the JSON and binary response writers.
+func scoreErrStatus(err error) int {
+	switch {
+	case errors.Is(err, errStrategyNotCalibrated):
+		return http.StatusBadRequest
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "input dim"),
+		strings.Contains(err.Error(), "instance width"):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// writeScoreResult maps one jobResult to the JSON response, building
+// the decision and probability views in the request arena, and records
 // request metrics.
-func (s *Server) writeScoreResult(w http.ResponseWriter, res jobResult, start time.Time) {
+func (s *Server) writeScoreResult(w http.ResponseWriter, a *reqArena, res jobResult, start time.Time) {
 	if res.err != nil {
 		s.metrics.requestErrs.Add(1)
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(res.err, errStrategyNotCalibrated):
-			status = http.StatusBadRequest
-		case errors.Is(res.err, errDraining):
-			status = http.StatusServiceUnavailable
-		case strings.Contains(res.err.Error(), "input dim"),
-			strings.Contains(res.err.Error(), "instance width"):
-			status = http.StatusBadRequest
-		}
-		writeJSON(w, status, errorResponse{Error: res.err.Error()})
+		writeJSON(w, scoreErrStatus(res.err), errorResponse{Error: res.err.Error()})
 		return
 	}
 	out := scoreResponse{ModelVersion: res.version, Scores: res.scores}
 	if res.kinds != nil {
-		out.Decisions = make([]string, len(res.kinds))
+		a.decisions = ensureStrings(a.decisions, len(res.kinds))
 		for i, k := range res.kinds {
-			out.Decisions[i] = k.String()
+			a.decisions[i] = k.String()
 		}
+		out.Decisions = a.decisions
 	} else {
 		out.Warning = "decisions omitted: served model has no calibration for the default strategy"
 	}
 	if res.probs != nil {
-		out.Probabilities = make([][]float64, res.probs.Rows)
-		for i := range out.Probabilities {
-			out.Probabilities[i] = res.probs.Row(i)
+		a.probsRows = ensureRows(a.probsRows, res.probs.Rows)
+		for i := range a.probsRows {
+			a.probsRows[i] = res.probs.Row(i)
 		}
+		out.Probabilities = a.probsRows
 	}
 	s.metrics.requestOK.Add(1)
 	s.metrics.observeLatency(time.Since(start))
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, &out)
 }
 
-// instancesMatrix validates and packs the request rows.
-func instancesMatrix(rows [][]float64) (*mat.Matrix, error) {
+// readAllInto is io.ReadAll into a recycled buffer.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// instancesMatrixInto validates and packs the request rows into dst
+// (grown via mat.Ensure, nil allocates).
+func instancesMatrixInto(dst *mat.Matrix, rows [][]float64) (*mat.Matrix, error) {
 	if len(rows) == 0 {
-		return nil, errors.New("instances must hold at least one row")
+		return dst, errors.New("instances must hold at least one row")
 	}
 	cols := len(rows[0])
 	if cols == 0 {
-		return nil, errors.New("instances rows must hold at least one feature")
+		return dst, errors.New("instances rows must hold at least one feature")
 	}
-	x := mat.New(len(rows), cols)
+	dst = mat.Ensure(dst, len(rows), cols)
 	for i, row := range rows {
 		if len(row) != cols {
-			return nil, fmt.Errorf("instances row %d has %d features, row 0 has %d", i, len(row), cols)
+			return dst, fmt.Errorf("instances row %d has %d features, row 0 has %d", i, len(row), cols)
 		}
-		copy(x.Row(i), row)
+		copy(dst.Row(i), row)
 	}
-	return x, nil
+	return dst, nil
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

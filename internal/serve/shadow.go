@@ -167,11 +167,36 @@ func (s *Server) ShadowBatches() int64 {
 	return sh.batches
 }
 
+// shadowBatch is one sampled batch copied out of the request path.
+// The copy is mandatory, not an optimization: the source rows and
+// result slices may live in a pooled request arena that is recycled
+// the moment the response is written, so the background pass can never
+// hold references into them.
+type shadowBatch struct {
+	x        *mat.Matrix
+	x32      *mat.Matrix32
+	is32     bool
+	scores   []float64
+	kinds    []dataset.Kind
+	hasKinds bool
+}
+
+func (sb *shadowBatch) rowCount() int {
+	if sb.is32 {
+		return sb.x32.Rows
+	}
+	return sb.x.Rows
+}
+
+var shadowBatchPool = sync.Pool{New: func() any { return new(shadowBatch) }}
+
 // maybeShadow samples one served batch for background re-scoring on
 // the shadow model. The fast path (no shadow loaded) is one atomic
-// load and zero allocations. x and the result slices are immutable
-// after the batch fans out, so the background pass reads them safely.
-func (s *Server) maybeShadow(x *mat.Matrix, scores []float64, kinds []dataset.Kind) {
+// load and zero allocations; a sampled batch is copied into pooled
+// buffers synchronously, before the caller's arena can be recycled.
+// Exactly one of x and x32 is set, matching the pass that scored the
+// batch.
+func (s *Server) maybeShadow(x *mat.Matrix, x32 *mat.Matrix32, scores []float64, kinds []dataset.Kind) {
 	sh := s.shadow.Load()
 	if sh == nil {
 		return
@@ -192,28 +217,46 @@ func (s *Server) maybeShadow(x *mat.Matrix, scores []float64, kinds []dataset.Ki
 	if !take {
 		return
 	}
+	sb := shadowBatchPool.Get().(*shadowBatch)
+	sb.is32 = x32 != nil
+	if sb.is32 {
+		sb.x32 = mat.Ensure32(sb.x32, x32.Rows, x32.Cols)
+		copy(sb.x32.Data, x32.Data)
+	} else {
+		sb.x = mat.Ensure(sb.x, x.Rows, x.Cols)
+		copy(sb.x.Data, x.Data)
+	}
+	sb.scores = append(sb.scores[:0], scores...)
+	sb.hasKinds = kinds != nil
+	if sb.hasKinds {
+		sb.kinds = append(sb.kinds[:0], kinds...)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.shadowScore(sh, x, scores, kinds)
+		s.shadowScore(sh, sb)
+		shadowBatchPool.Put(sb)
 	}()
 }
 
-// shadowScore runs the candidate over one sampled batch and folds the
-// comparison into the running stats.
-func (s *Server) shadowScore(sh *shadowState, x *mat.Matrix, scores []float64, kinds []dataset.Kind) {
+// shadowScore runs the candidate over one sampled (copied) batch and
+// folds the comparison into the running stats.
+func (s *Server) shadowScore(sh *shadowState, sb *shadowBatch) {
 	opt := core.InferOptions{}
-	if kinds != nil {
+	if sb.hasKinds {
 		if _, ok := sh.model.IdentifyThreshold(s.cfg.Strategy); ok {
 			opt.Strategies = []core.OODStrategy{s.cfg.Strategy}
 		}
 	}
 	var res *core.InferResult
 	var err error
-	if s.cfg.Precision == F32 {
-		res, err = sh.model.InferF32(nil, x, opt)
-	} else {
-		res, err = sh.model.Infer(nil, x, opt)
+	switch {
+	case sb.is32:
+		res, err = sh.model.InferF32Rows(nil, sb.x32, opt)
+	case s.cfg.Precision == F32:
+		res, err = sh.model.InferF32(nil, sb.x, opt)
+	default:
+		res, err = sh.model.Infer(nil, sb.x, opt)
 	}
 
 	sh.mu.Lock()
@@ -224,8 +267,8 @@ func (s *Server) shadowScore(sh *shadowState, x *mat.Matrix, scores []float64, k
 		return
 	}
 	sh.batches++
-	sh.rows += int64(x.Rows)
-	for i, old := range scores {
+	sh.rows += int64(sb.rowCount())
+	for i, old := range sb.scores {
 		d := res.Scores[i] - old
 		sh.deltaSum += d
 		if d < 0 {
@@ -236,10 +279,10 @@ func (s *Server) shadowScore(sh *shadowState, x *mat.Matrix, scores []float64, k
 			sh.maxAbs = d
 		}
 	}
-	if newKinds, ok := res.Kinds[s.cfg.Strategy]; ok && kinds != nil {
+	if newKinds, ok := res.Kinds[s.cfg.Strategy]; ok && sb.hasKinds {
 		for i, k := range newKinds {
 			sh.decided++
-			if k != kinds[i] {
+			if k != sb.kinds[i] {
 				sh.flips++
 			}
 		}

@@ -6,17 +6,18 @@
 # the serving benchmarks (ServeScore/ServeScoreF32: end-to-end HTTP
 # throughput at 1 vs N concurrent clients, micro-batching off/on, at
 # each precision; ServeScoreMonitored: the f64 workload with the drift
-# accumulator armed), capturing both ns/op and the allocation axis
-# (B/op, allocs/op) so the trajectory tracks the zero-allocation
-# contracts alongside raw speed.
+# accumulator armed; ServeScoreBinary: the zero-copy binary protocol
+# in-process at both frame precisions, plus its over-HTTP twin),
+# capturing both ns/op and the allocation axis (B/op, allocs/op) so the
+# trajectory tracks the zero-allocation contracts alongside raw speed.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR6.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR7.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -34,8 +35,9 @@ fi
 
 # The serving benchmarks drive their own client goroutines, so they
 # are not swept over -cpu; they run once at the machine's GOMAXPROCS.
-# The prefix pattern matches ServeScore, ServeScoreF32, and
-# ServeScoreMonitored.
+# The prefix pattern matches ServeScore, ServeScoreF32,
+# ServeScoreMonitored, ServeScoreBinary (f64/f32 frames, in-process),
+# and ServeScoreBinaryHTTP.
 serve_args=(test -run '^$' -bench 'BenchmarkServeScore'
     -benchmem -timeout 30m ./internal/serve)
 if [ -n "$benchtime" ]; then
@@ -75,8 +77,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 6,\n"
-    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed)\",\n"
+    printf "  \"pr\": 7,\n"
+    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed; ServeScoreBinary: zero-copy binary frames in-process at f64/f32 plus the over-HTTP twin)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

@@ -74,13 +74,15 @@ TARGAD_WORKERS=4 go test -count=1 -run 'Fault|Crash|Panic|Slow' \
     ./internal/parallel
 go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalError' \
     ./internal/nn
-go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle' \
+go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle|TestBinaryFrameFaults|TestJSONBodyLimit413' \
     ./internal/serve
 
-# Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader (the
-# seed corpus always runs in the full suite; this explores beyond it).
-echo "== fuzz smoke (FuzzLoadCSV, 10s) =="
+# Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader and
+# the binary wire-frame decoder (the seed corpora always run in the
+# full suite; this explores beyond them).
+echo "== fuzz smoke (FuzzLoadCSV + FuzzDecodeFrame, 10s each) =="
 go test -fuzz FuzzLoadCSV -fuzztime 10s -run '^$' ./internal/dataset
+go test -fuzz FuzzDecodeFrame -fuzztime 10s -run '^$' ./internal/wire
 
 # Allocation-budget smoke: one iteration of each hot-path benchmark
 # with -benchmem, failing if allocs/op regresses above its budget. The
@@ -97,14 +99,21 @@ go test -run '^$' \
     -benchtime 1x -benchmem -cpu 1 -timeout 20m . | tee /tmp/targad_alloc_smoke.txt
 go test -run '^$' -bench 'BenchmarkMonitorObserve' \
     -benchmem -cpu 1 ./internal/monitor | tee -a /tmp/targad_alloc_smoke.txt
+# The binary serving path budget (<=9 allocs/op, measured in-process so
+# net/http client overhead stays out of the number) is the PR7
+# zero-copy acceptance gate; the HTTP-suffixed variant is deliberately
+# outside the pattern.
+go test -run '^$' -bench 'BenchmarkServeScoreBinary/' \
+    -benchmem -cpu 1 ./internal/serve | tee -a /tmp/targad_alloc_smoke.txt
 awk '
 /^Benchmark/ {
     name = $1; allocs = $(NF - 1)
     budget = -1
-    if (name ~ /TargADFit/)         budget = 3600
-    if (name ~ /AutoencoderEpoch/)  budget = 50
-    if (name ~ /MatMul/)            budget = 10
-    if (name ~ /MonitorObserve/)    budget = 0
+    if (name ~ /TargADFit/)          budget = 3600
+    if (name ~ /AutoencoderEpoch/)   budget = 50
+    if (name ~ /MatMul/)             budget = 10
+    if (name ~ /MonitorObserve/)     budget = 0
+    if (name ~ /ServeScoreBinary\//) budget = 9
     if (budget >= 0 && allocs + 0 > budget) {
         printf "ALLOC REGRESSION: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget
         bad = 1
