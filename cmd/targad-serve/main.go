@@ -82,8 +82,11 @@ func main() {
 		driftDegrade  = flag.Bool("drift-degrade", false, "fail /readyz with 503 while drift status is alarm")
 		shadowSample  = flag.Float64("shadow-sample", 0.25, "fraction of live batches a shadow model re-scores")
 		workers       = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
+		instanceID    = flag.String("instance-id", "", "identity stamped on /healthz and /readyz for fleet probers (default host-pid-starttime)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
+	timeouts := serve.DefaultHTTPTimeouts()
+	timeouts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("targad-serve %s\n", buildinfo.Version())
@@ -118,6 +121,7 @@ func main() {
 		Strategy:     strat,
 		Precision:    prec,
 		EnablePprof:  *enablePprof,
+		InstanceID:   *instanceID,
 		Monitor: monitor.Config{
 			WindowRows: *monitorWindow,
 			WarnPSI:    *driftWarn,
@@ -133,7 +137,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// The hardened listener: header/read/write/idle timeouts close the
+	// slowloris window a bare http.Server leaves open (flag-tunable;
+	// targad-router builds its listener the same way).
+	httpSrv := serve.NewHTTPServer(*addr, s.Handler(), timeouts)
 
 	// SIGHUP hot-reloads the model file; ^C/SIGTERM shut down
 	// gracefully, draining in-flight requests before exit.

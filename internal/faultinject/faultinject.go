@@ -58,6 +58,29 @@ const (
 	// the monitoring suite uses it to push the live windows away from
 	// the model's reference profile deterministically.
 	ServeDriftTraffic = "serve/drift-traffic"
+
+	// Network-layer fleet probes (internal/fleet). Each is targeted:
+	// armed with ArmTarget/ArmTargetDelay against one backend ordinal,
+	// it fires only on hits carrying that target, so the chaos suite
+	// can kill, stall, or flap exactly one replica of a fleet while
+	// the others serve untouched.
+
+	// FleetBackendLatency delays the router's forward to the targeted
+	// backend by the armed duration (cancellation-aware), modeling a
+	// stalled or overloaded replica.
+	FleetBackendLatency = "fleet/backend-latency"
+	// FleetBackend5xx answers the router's forward to the targeted
+	// backend with a synthesized 502 without touching the network,
+	// modeling a replica that accepts connections but fails requests.
+	FleetBackend5xx = "fleet/backend-5xx"
+	// FleetBackendDrop fails the router's forward to the targeted
+	// backend with a connection error, modeling a killed process or a
+	// partitioned host.
+	FleetBackendDrop = "fleet/backend-drop"
+	// FleetBackendFlap fails the router's health probe of the targeted
+	// backend, flapping its state machine without disturbing live
+	// traffic already in flight.
+	FleetBackendFlap = "fleet/backend-flap"
 )
 
 // enabled is the global fast path: false whenever no point is armed,
@@ -76,6 +99,8 @@ type point struct {
 	delay     time.Duration
 	value     float64 // payload for Value probes (ArmValue)
 	fired     int64   // total times this point fired
+	hasTarget bool    // restrict firing to hits matching target
+	target    int64   // backend ordinal (or similar) the point is aimed at
 }
 
 // Arm arms a point to fire on its next `times` hits (times < 0 arms it
@@ -107,6 +132,28 @@ func ArmValue(name string, v float64, times int) {
 	mu.Lock()
 	defer mu.Unlock()
 	points[name] = &point{remaining: int64(times), value: v}
+	enabled.Store(true)
+}
+
+// ArmTarget arms a point that fires only on hits carrying the given
+// integer target (a fleet backend ordinal) for its next `times`
+// matching hits (times < 0 means every matching hit). Hits carrying a
+// different target pass through without consuming a firing, so a
+// chaos test can aim a fault at one replica of a fleet.
+func ArmTarget(name string, target, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{remaining: int64(times), hasTarget: true, target: int64(target)}
+	enabled.Store(true)
+}
+
+// ArmTargetDelay arms a targeted point whose probe sleeps for d on
+// each of its next `times` matching hits (times < 0 means every
+// matching hit).
+func ArmTargetDelay(name string, target int, d time.Duration, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{remaining: int64(times), delay: d, hasTarget: true, target: int64(target)}
 	enabled.Store(true)
 }
 
@@ -173,6 +220,32 @@ func Value(name string) (float64, bool) {
 	return 0, false
 }
 
+// FireTarget reports whether the named point fires for this hit at the
+// given target, consuming one firing when it does. A point armed
+// without a target matches every hit; a targeted point lets
+// non-matching hits pass without consuming a firing. When nothing is
+// armed it is a single atomic load.
+func FireTarget(name string, target int) bool {
+	if !enabled.Load() {
+		return false
+	}
+	return fireTarget(name, target) != nil
+}
+
+// DelayTarget returns the armed delay if the named point fires for
+// this hit at the given target, or 0. Unlike Sleep, callers own the
+// wait — the fleet transport races the delay against request
+// cancellation instead of blocking through it.
+func DelayTarget(name string, target int) time.Duration {
+	if !enabled.Load() {
+		return 0
+	}
+	if p := fireTarget(name, target); p != nil {
+		return p.delay
+	}
+	return 0
+}
+
 // Fired returns how many times the named point has fired since it was
 // last armed (0 when never armed). Tests use it to assert a probe was
 // actually reached.
@@ -187,12 +260,31 @@ func Fired(name string) int {
 
 // fire holds the slow-path bookkeeping: skip counting, bounded
 // firings, and the fired tally. It returns the point when this hit
-// fires.
+// fires. Untargeted probe calls fire targeted points too: a point
+// aimed at one backend still counts a generic hit as matching.
 func fire(name string) *point {
+	mu.Lock()
+	defer mu.Unlock()
+	return fireLocked(points[name])
+}
+
+// fireTarget is fire for target-carrying hits: a targeted point lets
+// mismatched hits pass untouched.
+func fireTarget(name string, target int) *point {
 	mu.Lock()
 	defer mu.Unlock()
 	p, ok := points[name]
 	if !ok {
+		return nil
+	}
+	if p.hasTarget && p.target != int64(target) {
+		return nil
+	}
+	return fireLocked(p)
+}
+
+func fireLocked(p *point) *point {
+	if p == nil {
 		return nil
 	}
 	if p.skip > 0 {

@@ -142,3 +142,44 @@ func TestConcurrentFireCountsExactly(t *testing.T) {
 		t.Fatalf("concurrent firings = %d, want exactly %d", total, armed)
 	}
 }
+
+func TestTargetedProbes(t *testing.T) {
+	t.Cleanup(Reset)
+
+	// A targeted point fires only for matching hits, and mismatched
+	// hits consume nothing.
+	ArmTarget(FleetBackendDrop, 2, 2)
+	if FireTarget(FleetBackendDrop, 0) || FireTarget(FleetBackendDrop, 1) {
+		t.Fatal("targeted point fired for a mismatched target")
+	}
+	if !FireTarget(FleetBackendDrop, 2) || !FireTarget(FleetBackendDrop, 2) {
+		t.Fatal("targeted point did not fire for its target")
+	}
+	if FireTarget(FleetBackendDrop, 2) {
+		t.Fatal("targeted point fired past its armed count")
+	}
+	if got := Fired(FleetBackendDrop); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+
+	// A targeted delay point carries its duration to matching hits only.
+	ArmTargetDelay(FleetBackendLatency, 1, 50*time.Millisecond, -1)
+	if d := DelayTarget(FleetBackendLatency, 0); d != 0 {
+		t.Fatalf("mismatched DelayTarget = %v, want 0", d)
+	}
+	if d := DelayTarget(FleetBackendLatency, 1); d != 50*time.Millisecond {
+		t.Fatalf("matched DelayTarget = %v, want 50ms", d)
+	}
+
+	// An untargeted point matches every target-carrying hit.
+	Arm(FleetBackendFlap, 1)
+	if !FireTarget(FleetBackendFlap, 7) {
+		t.Fatal("untargeted point did not fire for a targeted hit")
+	}
+
+	// A targeted point probed through the generic accessors still fires.
+	ArmTarget(FleetBackend5xx, 3, 1)
+	if !Fire(FleetBackend5xx) {
+		t.Fatal("generic Fire skipped a targeted point")
+	}
+}

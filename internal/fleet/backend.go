@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BackendState is the health-prober's view of one replica. Transitions
+// (DESIGN.md §13):
+//
+//	up ──probe fail──▶ degraded ──FailThreshold consecutive fails──▶ down
+//	degraded ──probe ok──▶ up
+//	down ──probe ok──▶ recovering
+//	recovering ──RecoverThreshold consecutive oks──▶ up
+//	recovering ──probe fail──▶ down
+//
+// A replica whose instance identity changes between probes (a restart)
+// drops to recovering regardless of its state: a fresh process must
+// re-prove itself before it is trusted as up.
+type BackendState int32
+
+const (
+	StateUp BackendState = iota
+	StateDegraded
+	StateDown
+	StateRecovering
+)
+
+func (s BackendState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// selectable reports whether the router may send new requests to a
+// backend in this state. Degraded and recovering replicas stay in
+// rotation — the retry policy covers their misses — only down replicas
+// are skipped outright.
+func (s BackendState) selectable() bool { return s != StateDown }
+
+// Backend is one targad-serve replica behind the router.
+type Backend struct {
+	// Index is the backend's ordinal in Config.Backends; faultinject
+	// targets (FleetBackendDrop etc.) address it.
+	Index int
+	// Name labels the backend in metrics and logs (host:port).
+	Name string
+
+	url *url.URL
+
+	state    atomic.Int32 // BackendState
+	failRun  int          // consecutive probe failures (prober-only)
+	okRun    int          // consecutive probe successes (prober-only)
+	instance atomic.Pointer[string]
+
+	inflight atomic.Int64 // proxied requests currently outstanding
+
+	cb circuit
+
+	// counters surfaced as targad_router_backend_* metrics
+	requests    atomic.Int64
+	failures    atomic.Int64
+	probes      atomic.Int64
+	probeFails  atomic.Int64
+	restarts    atomic.Int64
+	transitions atomic.Int64
+}
+
+// State returns the prober's current view of the backend.
+func (b *Backend) State() BackendState { return BackendState(b.state.Load()) }
+
+// Instance returns the last instance identity /readyz reported, or "".
+func (b *Backend) Instance() string {
+	if p := b.instance.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (b *Backend) setState(s BackendState, logf func(string, ...any)) {
+	old := BackendState(b.state.Swap(int32(s)))
+	if old != s {
+		b.transitions.Add(1)
+		logf("fleet: backend %s %s -> %s", b.Name, old, s)
+	}
+}
+
+// observeProbe advances the state machine on one probe result. Called
+// only from the prober (one goroutine, or ProbeAll in tests), so the
+// consecutive-run counters need no synchronization; state itself is
+// atomic for the proxy path's reads.
+func (b *Backend) observeProbe(ok bool, instance string, cfg *Config, logf func(string, ...any)) {
+	b.probes.Add(1)
+	if ok && instance != "" {
+		if prev := b.Instance(); prev != "" && prev != instance {
+			// The process answering is not the one we knew: a restart.
+			// Trust is reset — the fresh replica re-proves itself
+			// through recovering before it is up again.
+			b.restarts.Add(1)
+			b.instance.Store(&instance)
+			b.okRun, b.failRun = 1, 0
+			b.setState(StateRecovering, logf)
+			return
+		}
+		b.instance.Store(&instance)
+	}
+	if ok {
+		b.okRun++
+		b.failRun = 0
+	} else {
+		b.probeFails.Add(1)
+		b.failRun++
+		b.okRun = 0
+	}
+	switch b.State() {
+	case StateUp:
+		if !ok {
+			b.setState(StateDegraded, logf)
+		}
+	case StateDegraded:
+		if ok {
+			b.setState(StateUp, logf)
+		} else if b.failRun >= cfg.FailThreshold {
+			b.setState(StateDown, logf)
+		}
+	case StateDown:
+		if ok {
+			b.setState(StateRecovering, logf)
+		}
+	case StateRecovering:
+		if !ok {
+			b.setState(StateDown, logf)
+		} else if b.okRun >= cfg.RecoverThreshold {
+			b.setState(StateUp, logf)
+		}
+	}
+}
+
+// Circuit-breaker states. The breaker is request-driven (the state
+// machine above is probe-driven): CBFailures consecutive forward
+// failures open it, an open breaker sheds the backend from candidate
+// selection for CBCooldown, then a single half-open trial request
+// decides — success closes the breaker, failure re-opens it.
+const (
+	cbClosed = iota
+	cbOpen
+	cbHalfOpen
+)
+
+type circuit struct {
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial is in flight
+
+	opens     atomic.Int64 // closed/half-open -> open transitions
+	halfOpens atomic.Int64 // open -> half-open transitions
+	closes    atomic.Int64 // half-open -> closed transitions
+}
+
+// allow reports whether a request may be sent through the breaker now;
+// trial marks it as the half-open probe whose outcome must be reported
+// via onResult(trial=true).
+func (c *circuit) allow(now time.Time, cooldown time.Duration) (ok, trial bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case cbClosed:
+		return true, false
+	case cbOpen:
+		if now.Sub(c.openedAt) < cooldown {
+			return false, false
+		}
+		c.state = cbHalfOpen
+		c.halfOpens.Add(1)
+		c.trial = true
+		return true, true
+	default: // cbHalfOpen: one trial at a time
+		if c.trial {
+			return false, false
+		}
+		c.trial = true
+		return true, true
+	}
+}
+
+// onResult feeds one forward outcome back into the breaker.
+func (c *circuit) onResult(success, trial bool, threshold int, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if trial {
+		c.trial = false
+		if success {
+			if c.state == cbHalfOpen {
+				c.state = cbClosed
+				c.fails = 0
+				c.closes.Add(1)
+			}
+		} else if c.state == cbHalfOpen {
+			c.state = cbOpen
+			c.openedAt = now
+			c.opens.Add(1)
+		}
+		return
+	}
+	if c.state != cbClosed {
+		return
+	}
+	if success {
+		c.fails = 0
+		return
+	}
+	c.fails++
+	if c.fails >= threshold {
+		c.state = cbOpen
+		c.openedAt = now
+		c.opens.Add(1)
+	}
+}
+
+// onCanceled releases a forward that ended without a verdict — a
+// hedge loser canceled by the router. A canceled half-open trial frees
+// the trial slot so the next request can re-probe; the breaker state
+// itself is untouched (cancellation is the router's doing, not the
+// backend's).
+func (c *circuit) onCanceled(trial bool) {
+	if !trial {
+		return
+	}
+	c.mu.Lock()
+	c.trial = false
+	c.mu.Unlock()
+}
+
+// snapshotState returns the breaker's current state for metrics.
+func (c *circuit) snapshotState() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"targad/internal/rng"
+	"targad/internal/serve"
+)
+
+// fixturePath is the trained format-v1 model committed under the core
+// package's testdata; the chaos suite fronts real serving replicas of
+// it so routed scores can be compared bitwise against direct ones.
+const fixturePath = "../core/testdata/model_v1.gob"
+
+const fixtureDim = 32
+
+// testRows builds a deterministic batch in the fixture's feature
+// space.
+func testRows(rows int, seed int64) [][]float64 {
+	r := rng.New(seed)
+	out := make([][]float64, rows)
+	for i := range out {
+		row := make([]float64, fixtureDim)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// newBackend stands up one real targad-serve replica over a temp copy
+// of the fixture model.
+func newBackend(t testing.TB, instanceID string) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	raw, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatalf("missing model fixture: %v", err)
+	}
+	path := filepath.Join(dir, "model.gob")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{ModelPath: path, InstanceID: instanceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// newFleet builds n serve replicas behind a Router. The background
+// prober is disabled — tests drive ProbeAll deterministically. mut may
+// adjust the config before New.
+func newFleet(t testing.TB, n int, mut func(*Config)) (*Router, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		_, ts := newBackend(t, "")
+		servers[i] = ts
+		urls[i] = ts.URL
+	}
+	cfg := Config{
+		Backends:      urls,
+		ProbeInterval: -1, // tests call ProbeAll
+		TryTimeout:    2 * time.Second,
+		Logf:          t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	r.ProbeAll() // one round so every live backend reports up with an instance
+	return r, servers
+}
+
+// postJSON posts a JSON score request and returns status, body.
+func postJSON(t testing.TB, client *http.Client, url string, rows [][]float64, tenant string) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"instances": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/score", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Targad-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func decodeScores(t testing.TB, body []byte) []float64 {
+	t.Helper()
+	var out struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode scores: %v (%s)", err, body)
+	}
+	return out.Scores
+}
+
+// newRouterServer mounts the router on a test listener.
+func newRouterServer(t testing.TB, r *Router) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

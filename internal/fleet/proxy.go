@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"targad/internal/wire"
+)
+
+// hopHeaders are not forwarded in either direction (RFC 9110 §7.6.1).
+var hopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// attempt is one forwarded copy of a request: the primary try, a
+// retry, or a hedge.
+type attempt struct {
+	resp   *http.Response
+	err    error
+	b      *Backend
+	idx    int                // launch ordinal within this attempt round (0 primary, 1 hedge)
+	cancel context.CancelFunc // releases the try context; call after the body is consumed
+}
+
+// succeeded reports whether this attempt's response should be written
+// to the client as-is. Backend 4xx passes through (the client's
+// mistake is the client's to see, byte-for-byte); transport errors,
+// 5xx, and 429 (a shedding replica) are the router's to retry.
+func (a attempt) succeeded() bool {
+	return a.err == nil && a.resp.StatusCode < 500 && a.resp.StatusCode != http.StatusTooManyRequests
+}
+
+// discard releases a failed or losing attempt: its response body (if
+// any) is drained so the connection can be reused, and its try context
+// canceled.
+func (a attempt) discard() {
+	if a.resp != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(a.resp.Body, 4<<10))
+		a.resp.Body.Close()
+	}
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// handleScore proxies one scoring request across the fleet.
+func (r *Router) handleScore(w http.ResponseWriter, req *http.Request) {
+	binary := strings.HasPrefix(req.Header.Get("Content-Type"), wire.ContentType)
+	if req.Method != http.MethodPost {
+		r.fail(w, binary, http.StatusMethodNotAllowed, "POST required", false)
+		return
+	}
+	start := time.Now()
+	r.metrics.requests.Add(1)
+	r.budget.observeRequest()
+
+	body, status, msg := r.readBody(req, binary)
+	if status != 0 {
+		r.metrics.errs.Add(1)
+		if status == http.StatusRequestEntityTooLarge {
+			r.metrics.tooLarge.Add(1)
+		}
+		r.fail(w, binary, status, msg, false)
+		return
+	}
+
+	order, fromPool := r.pickOrder(req)
+	if fromPool != nil {
+		defer r.candPool.Put(fromPool)
+	}
+
+	walk := candidateWalk{order: order}
+	var last attempt
+	haveLast := false
+	for tries := 0; tries <= r.cfg.MaxRetries; tries++ {
+		if tries > 0 {
+			if !r.budget.allow() {
+				r.metrics.budgetExhausted.Add(1)
+				break
+			}
+			r.metrics.retries.Add(1)
+			if sleepCtx(req.Context(), r.backoff(tries)) != nil {
+				break // client gone mid-backoff
+			}
+		}
+		a, launched := r.attemptWithHedge(req, &walk, body)
+		if !launched {
+			break // no selectable candidate remains
+		}
+		if haveLast {
+			last.discard()
+		}
+		last, haveLast = a, true
+		if a.succeeded() {
+			r.metrics.ok.Add(1)
+			r.metrics.observeLatency(time.Since(start))
+			r.writeProxied(w, a)
+			return
+		}
+	}
+
+	// Every path here is a shed: no candidate was selectable, the retry
+	// budget ran dry, or every attempt failed. 503 + Retry-After is the
+	// router's only self-authored failure.
+	if haveLast {
+		last.discard()
+	}
+	r.metrics.errs.Add(1)
+	r.metrics.sheds.Add(1)
+	r.fail(w, binary, http.StatusServiceUnavailable, "no healthy backend available, retry later", true)
+}
+
+// readBody buffers the request once so it can be replayed on retries.
+// Binary frames are size-checked from their 16-byte header before the
+// payload is read (wire's opaque pass-through contract); JSON bodies
+// are capped by MaxBodyBytes. A non-zero status reports the failure.
+func (r *Router) readBody(req *http.Request, binary bool) (body []byte, status int, msg string) {
+	if !binary {
+		lim := io.LimitReader(req.Body, r.cfg.MaxBodyBytes+1)
+		b, err := io.ReadAll(lim)
+		if err != nil {
+			return nil, http.StatusBadRequest, "bad request body: " + err.Error()
+		}
+		if int64(len(b)) > r.cfg.MaxBodyBytes {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", r.cfg.MaxBodyBytes)
+		}
+		return b, 0, ""
+	}
+	var hdr [wire.RequestHeaderSize]byte
+	if _, err := io.ReadFull(req.Body, hdr[:]); err != nil {
+		return nil, http.StatusBadRequest, "truncated request header: " + err.Error()
+	}
+	size, err := wire.ParseRequestFrameSize(hdr[:])
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	if size > r.cfg.MaxBodyBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("frame of %d bytes exceeds the %d-byte request limit", size, r.cfg.MaxBodyBytes)
+	}
+	b := make([]byte, size)
+	copy(b, hdr[:])
+	if _, err := io.ReadFull(req.Body, b[wire.RequestHeaderSize:]); err != nil {
+		return nil, http.StatusBadRequest, "truncated feature block: " + err.Error()
+	}
+	var probe [1]byte
+	if n, _ := req.Body.Read(probe[:]); n > 0 {
+		return nil, http.StatusBadRequest, "trailing bytes past the announced frame"
+	}
+	return b, 0, ""
+}
+
+// pickOrder returns the candidate order for this request: the tenant's
+// ring walk, or a rotated round-robin order for tenantless requests.
+// fromPool (when non-nil) must be returned to candPool by the caller.
+func (r *Router) pickOrder(req *http.Request) (order []int, fromPool *[]int) {
+	n := len(r.backends)
+	bufp := r.candPool.Get().(*[]int)
+	buf := (*bufp)[:0]
+	if tenant := req.Header.Get(r.cfg.TenantHeader); tenant != "" {
+		r.metrics.tenantRouted.Add(1)
+		buf = r.ring.candidates(tenant, buf)
+	} else {
+		start := int(r.rr.Add(1)-1) % n
+		for i := 0; i < n; i++ {
+			buf = append(buf, (start+i)%n)
+		}
+	}
+	*bufp = buf
+	return buf, bufp
+}
+
+// candidateWalk is one request's pass over its candidate order. The
+// cursor survives retries so a request never revisits a backend that
+// already failed it; spill holds candidates passed over by the
+// bounded-load rule, revisited before the router gives up.
+type candidateWalk struct {
+	order  []int
+	cursor int
+	spill  []int
+}
+
+// nextCandidate advances the walk to the next backend that may take a
+// request now: selectable per the health state machine, under its
+// bounded-load share, and admitted by its circuit breaker. A backend
+// over its load bound is spilled, not dropped — overflow is a
+// placement preference, and an overloaded-but-healthy replica always
+// beats a shed once every lighter candidate is spent. trial marks a
+// half-open breaker's probe (its outcome must be reported).
+func (r *Router) nextCandidate(w *candidateWalk, now time.Time) (b *Backend, trial bool) {
+	for w.cursor < len(w.order) {
+		cand := r.backends[w.order[w.cursor]]
+		w.cursor++
+		if !cand.State().selectable() {
+			continue
+		}
+		if r.overloaded(cand) {
+			r.metrics.overflows.Add(1)
+			w.spill = append(w.spill, cand.Index)
+			continue
+		}
+		ok, trial := cand.cb.allow(now, r.cfg.CBCooldown)
+		if !ok {
+			r.metrics.circuitSkips.Add(1)
+			continue
+		}
+		return cand, trial
+	}
+	for len(w.spill) > 0 {
+		cand := r.backends[w.spill[0]]
+		w.spill = w.spill[1:]
+		if !cand.State().selectable() {
+			continue
+		}
+		ok, trial := cand.cb.allow(now, r.cfg.CBCooldown)
+		if !ok {
+			r.metrics.circuitSkips.Add(1)
+			continue
+		}
+		return cand, trial
+	}
+	return nil, false
+}
+
+// overloaded applies the bounded-load rule: a backend may hold at most
+// ceil(LoadFactor * (total in-flight + 1) / selectable backends)
+// requests; beyond that the tenant overflows to its next ring
+// position.
+func (r *Router) overloaded(b *Backend) bool {
+	var total int64
+	healthy := 0
+	for _, ob := range r.backends {
+		total += ob.inflight.Load()
+		if ob.State().selectable() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return false
+	}
+	capacity := int64(math.Ceil(r.cfg.LoadFactor * float64(total+1) / float64(healthy)))
+	return b.inflight.Load() >= capacity
+}
+
+// launchHandle controls one in-flight forwarded copy. cancelByRouter
+// marks the cancellation as the router's own doing (a hedge loser)
+// before firing it — the launch goroutine cannot infer that from the
+// contexts alone, because the client's context dies racily the moment
+// the winning response is written.
+type launchHandle struct {
+	cancel   context.CancelFunc
+	byRouter atomic.Bool
+}
+
+func (h *launchHandle) cancelByRouter() {
+	h.byRouter.Store(true)
+	h.cancel()
+}
+
+// launch fires one forwarded copy of the request at b and reports its
+// outcome on ch. The returned handle cancels the try early — the hedge
+// path uses it to cancel the losing request.
+func (r *Router) launch(req *http.Request, b *Backend, trial bool, body []byte, ch chan<- attempt, idx int) *launchHandle {
+	tryCtx, cancel := context.WithTimeout(req.Context(), r.cfg.TryTimeout)
+	h := &launchHandle{cancel: cancel}
+	go func() {
+		start := time.Now()
+		resp, err := r.forward(tryCtx, b, req, body)
+		canceledByRouter := errors.Is(err, context.Canceled) && h.byRouter.Load()
+		if canceledByRouter {
+			// A hedge loser, not a backend fault: no circuit verdict,
+			// no failure count.
+			b.cb.onCanceled(trial)
+			r.metrics.hedgeCancels.Add(1)
+		} else {
+			circuitOK := err == nil && resp.StatusCode < 500
+			b.cb.onResult(circuitOK, trial, r.cfg.CBFailures, time.Now())
+			if err != nil || resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+				b.failures.Add(1)
+			} else {
+				r.lat.observe(time.Since(start))
+			}
+		}
+		ch <- attempt{resp: resp, err: err, b: b, idx: idx, cancel: cancel}
+	}()
+	return h
+}
+
+// forward performs one HTTP exchange with b, replaying the buffered
+// body.
+func (r *Router) forward(ctx context.Context, b *Backend, orig *http.Request, body []byte) (*http.Response, error) {
+	u := *b.url
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/score"
+	u.RawQuery = orig.URL.RawQuery
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vv := range orig.Header {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		req.Header[k] = vv
+	}
+	req.ContentLength = int64(len(body))
+	b.requests.Add(1)
+	b.inflight.Add(1)
+	resp, err := r.transport.roundTrip(req, b.Index)
+	b.inflight.Add(-1)
+	return resp, err
+}
+
+// attemptWithHedge runs one attempt, optionally racing a hedge against
+// it: once the primary outlives the tracked latency quantile, a second
+// copy goes to the next candidate, the first successful response wins,
+// and the loser's context is canceled. launched=false means no
+// selectable candidate remained.
+func (r *Router) attemptWithHedge(req *http.Request, walk *candidateWalk, body []byte) (win attempt, launched bool) {
+	b, trial := r.nextCandidate(walk, time.Now())
+	if b == nil {
+		return attempt{}, false
+	}
+	ch := make(chan attempt, 2)
+	launches := []*launchHandle{r.launch(req, b, trial, body, ch, 0)}
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if d := r.hedgeDelay(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var last attempt
+	for {
+		select {
+		case a := <-ch:
+			outstanding--
+			if a.succeeded() {
+				if a.idx > 0 {
+					r.metrics.hedgeWins.Add(1)
+				}
+				// Cancel every launch but the winner's (the winner's
+				// context lives until its body is copied) and drain the
+				// losers in the background; their launch goroutines own
+				// the circuit bookkeeping.
+				for i, lh := range launches {
+					if i != a.idx {
+						lh.cancelByRouter()
+					}
+				}
+				if outstanding > 0 {
+					go func(n int) {
+						for i := 0; i < n; i++ {
+							(<-ch).discard()
+						}
+					}(outstanding)
+				}
+				return a, true
+			}
+			a.discard()
+			last = attempt{err: a.err, b: a.b}
+			if a.resp != nil {
+				last.err = fmt.Errorf("backend %s answered %d", a.b.Name, a.resp.StatusCode)
+			}
+			if outstanding == 0 {
+				return last, true
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hb, htrial := r.nextCandidate(walk, time.Now())
+			if hb == nil {
+				continue
+			}
+			r.metrics.hedges.Add(1)
+			launches = append(launches, r.launch(req, hb, htrial, body, ch, len(launches)))
+			outstanding++
+		}
+	}
+}
+
+// hedgeDelay returns how long an attempt may run before a hedge fires,
+// or 0 when hedging is off (disabled, or the latency window is still
+// cold).
+func (r *Router) hedgeDelay() time.Duration {
+	if r.cfg.HedgeQuantile <= 0 {
+		return 0
+	}
+	d := r.lat.quantile(r.cfg.HedgeQuantile)
+	if d == 0 {
+		return 0
+	}
+	if d < r.cfg.HedgeMin {
+		d = r.cfg.HedgeMin
+	}
+	return d
+}
+
+// writeProxied copies the winning response to the client
+// byte-for-byte, flushing per chunk so streamed binary responses keep
+// streaming through the router.
+func (r *Router) writeProxied(w http.ResponseWriter, a attempt) {
+	defer a.cancel()
+	defer a.resp.Body.Close()
+	h := w.Header()
+	for k, vv := range a.resp.Header {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		h[k] = vv
+	}
+	w.WriteHeader(a.resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	bufp := r.copyPool.Get().(*[]byte)
+	defer r.copyPool.Put(bufp)
+	buf := *bufp
+	for {
+		n, err := a.resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fail answers a router-authored error in the protocol the client
+// speaks: a wire error frame for binary clients, JSON otherwise.
+// retryAfter adds the Retry-After header 503s advertise.
+func (r *Router) fail(w http.ResponseWriter, binary bool, status int, msg string, retryAfter bool) {
+	if retryAfter {
+		w.Header().Set("Retry-After", strconv.Itoa(int((r.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	if binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(status)
+		_, _ = w.Write(wire.AppendError(nil, status, msg))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the backend set: VNodes virtual
+// points per backend, FNV-1a hashed, sorted once at construction (the
+// backend set is fixed for the router's lifetime). A tenant key hashes
+// to a ring position and walks clockwise; the distinct backends it
+// meets, in order, are the candidate sequence — the first is the
+// tenant's home, the rest the bounded-load/retry overflow order. The
+// walk order depends only on (backend names, VNodes, key), so every
+// router instance with the same config routes a tenant identically.
+type ring struct {
+	hashes []uint64
+	owner  []int // backend index owning hashes[i]
+	n      int   // distinct backends
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// FNV-1a avalanches poorly on short keys (vnode labels differ in a
+	// few trailing bytes), which visibly skews the ring; a splitmix64
+	// finalizer spreads the points uniformly while staying deterministic.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func buildRing(names []string, vnodes int) *ring {
+	r := &ring{n: len(names)}
+	type point struct {
+		h   uint64
+		idx int
+	}
+	pts := make([]point, 0, len(names)*vnodes)
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{hash64(fmt.Sprintf("%s#%d", name, v)), i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		// Ties (vanishingly rare) break on backend index so the ring
+		// stays deterministic across builds.
+		return pts[a].idx < pts[b].idx
+	})
+	r.hashes = make([]uint64, len(pts))
+	r.owner = make([]int, len(pts))
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.owner[i] = p.idx
+	}
+	return r
+}
+
+// candidates appends to dst the distinct backend indices met walking
+// clockwise from key's ring position: the tenant's full candidate
+// order. dst is reused across requests (len 0, cap >= n).
+func (r *ring) candidates(key string, dst []int) []int {
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= hash64(key) })
+	var seen uint64 // bitmask; fleets are far smaller than 64 backends
+	for i := 0; i < len(r.hashes) && len(dst) < r.n; i++ {
+		idx := r.owner[(start+i)%len(r.hashes)]
+		if seen&(1<<uint(idx)) == 0 {
+			seen |= 1 << uint(idx)
+			dst = append(dst, idx)
+		}
+	}
+	return dst
+}

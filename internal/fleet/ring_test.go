@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	names := []string{"a:1", "b:2", "c:3", "d:4"}
+	r1 := buildRing(names, 128)
+	r2 := buildRing(names, 128)
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("tenant-%d", k)
+		c1 := r1.candidates(key, nil)
+		c2 := r2.candidates(key, nil)
+		if len(c1) != len(names) {
+			t.Fatalf("key %q: %d candidates, want %d", key, len(c1), len(names))
+		}
+		seen := map[int]bool{}
+		for i, v := range c1 {
+			if v != c2[i] {
+				t.Fatalf("key %q: ring walk not deterministic: %v vs %v", key, c1, c2)
+			}
+			if seen[v] {
+				t.Fatalf("key %q: duplicate backend %d in %v", key, v, c1)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	names := []string{"a:1", "b:2", "c:3"}
+	r := buildRing(names, 128)
+	counts := make([]int, len(names))
+	const keys = 9000
+	buf := make([]int, 0, len(names))
+	for k := 0; k < keys; k++ {
+		buf = r.candidates(fmt.Sprintf("tenant-%d", k), buf[:0])
+		counts[buf[0]]++
+	}
+	for i, c := range counts {
+		// With 128 vnodes the split should be far from degenerate: every
+		// backend homes at least 20% of tenants.
+		if c < keys/5 {
+			t.Fatalf("backend %d homes only %d/%d tenants: %v", i, c, keys, counts)
+		}
+	}
+}
+
+// deadTransport fails every forward; these unit tests never want a
+// real network.
+type deadTransport struct{}
+
+func (deadTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, fmt.Errorf("deadTransport: no network in unit tests")
+}
+
+func newUnitRouter(t *testing.T, n int, mut func(*Config)) *Router {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://backend-%d.invalid:9", i)
+	}
+	cfg := Config{Backends: urls, ProbeInterval: -1, Transport: deadTransport{}}
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestPickOrderRoundRobinRotates(t *testing.T) {
+	r := newUnitRouter(t, 3, nil)
+	req, _ := http.NewRequest(http.MethodPost, "/score", nil)
+	firsts := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		order, pooled := r.pickOrder(req)
+		if len(order) != 3 {
+			t.Fatalf("order %v, want 3 distinct backends", order)
+		}
+		firsts[order[0]] = true
+		r.candPool.Put(pooled)
+	}
+	if len(firsts) != 3 {
+		t.Fatalf("round-robin start positions %v, want all 3 backends", firsts)
+	}
+}
+
+func TestPickOrderTenantStable(t *testing.T) {
+	r := newUnitRouter(t, 3, nil)
+	req, _ := http.NewRequest(http.MethodPost, "/score", nil)
+	req.Header.Set("X-Targad-Tenant", "acme")
+	var first []int
+	for i := 0; i < 5; i++ {
+		order, pooled := r.pickOrder(req)
+		if first == nil {
+			first = append([]int(nil), order...)
+		} else {
+			for j := range order {
+				if order[j] != first[j] {
+					t.Fatalf("tenant order drifted: %v vs %v", order, first)
+				}
+			}
+		}
+		r.candPool.Put(pooled)
+	}
+	if home := r.TenantBackend("acme"); home != first[0] {
+		t.Fatalf("TenantBackend says %d, ring walk starts at %d", home, first[0])
+	}
+}
+
+func TestBoundedLoadOverflows(t *testing.T) {
+	r := newUnitRouter(t, 3, nil)
+	home := r.TenantBackend("acme")
+	// Pile synthetic in-flight load onto the home backend: its share of
+	// ceil(1.25 * (total+1) / 3) is far exceeded, so the tenant must
+	// overflow to its next ring position.
+	r.backends[home].inflight.Store(30)
+	req, _ := http.NewRequest(http.MethodPost, "/score", nil)
+	req.Header.Set("X-Targad-Tenant", "acme")
+	order, pooled := r.pickOrder(req)
+	defer r.candPool.Put(pooled)
+	walk := candidateWalk{order: order}
+	b, _ := r.nextCandidate(&walk, time.Now())
+	if b == nil {
+		t.Fatal("no candidate despite two idle backends")
+	}
+	if b.Index == home {
+		t.Fatalf("picked overloaded home backend %d", home)
+	}
+	if r.metrics.overflows.Load() == 0 {
+		t.Fatal("overflow metric not bumped")
+	}
+	// With the load gone the tenant goes home again.
+	r.backends[home].inflight.Store(0)
+	walk = candidateWalk{order: order}
+	b, _ = r.nextCandidate(&walk, time.Now())
+	if b == nil || b.Index != home {
+		t.Fatalf("tenant did not return to home %d: got %v", home, b)
+	}
+	// An overloaded home with no alternative still takes the request:
+	// the spill pass turns overflow into a preference, never a shed.
+	r.backends[home].inflight.Store(30)
+	walk = candidateWalk{order: []int{home}}
+	b, _ = r.nextCandidate(&walk, time.Now())
+	if b == nil || b.Index != home {
+		t.Fatalf("overloaded last candidate was shed instead of spilled: %v", b)
+	}
+}
+
+func TestNextCandidateSkipsDown(t *testing.T) {
+	r := newUnitRouter(t, 2, nil)
+	r.backends[0].state.Store(int32(StateDown))
+	walk := candidateWalk{order: []int{0, 1}}
+	b, _ := r.nextCandidate(&walk, time.Now())
+	if b == nil || b.Index != 1 {
+		t.Fatalf("want backend 1, got %v", b)
+	}
+	r.backends[1].state.Store(int32(StateDown))
+	walk = candidateWalk{order: []int{0, 1}}
+	if b, _ := r.nextCandidate(&walk, time.Now()); b != nil {
+		t.Fatalf("want no candidate with the whole fleet down, got %d", b.Index)
+	}
+}
+
+func TestBackendRestartForcesRecovering(t *testing.T) {
+	r := newUnitRouter(t, 1, nil)
+	b := r.backends[0]
+	cfg := &r.cfg
+	logf := func(string, ...any) {}
+	b.observeProbe(true, "inst-1", cfg, logf)
+	b.observeProbe(true, "inst-1", cfg, logf)
+	if b.State() != StateUp {
+		t.Fatalf("state %v, want up", b.State())
+	}
+	// Same /readyz endpoint, different process behind it: a restart.
+	b.observeProbe(true, "inst-2", cfg, logf)
+	if b.State() != StateRecovering {
+		t.Fatalf("state %v after instance change, want recovering", b.State())
+	}
+	if b.restarts.Load() != 1 {
+		t.Fatalf("restarts %d, want 1", b.restarts.Load())
+	}
+	b.observeProbe(true, "inst-2", cfg, logf)
+	if b.State() != StateUp {
+		t.Fatalf("state %v after RecoverThreshold oks, want up", b.State())
+	}
+}
+
+func TestProbeStateMachine(t *testing.T) {
+	r := newUnitRouter(t, 1, nil)
+	b := r.backends[0]
+	cfg := &r.cfg // FailThreshold 3, RecoverThreshold 2
+	logf := func(string, ...any) {}
+	b.observeProbe(true, "i", cfg, logf)
+	steps := []struct {
+		ok   bool
+		want BackendState
+	}{
+		{false, StateDegraded},
+		{true, StateUp},
+		{false, StateDegraded},
+		{false, StateDegraded},
+		{false, StateDown}, // 3rd consecutive fail
+		{false, StateDown},
+		{true, StateRecovering},
+		{false, StateDown}, // recovery interrupted
+		{true, StateRecovering},
+		{true, StateUp}, // 2nd consecutive ok
+	}
+	for i, s := range steps {
+		b.observeProbe(s.ok, "i", cfg, logf)
+		if got := b.State(); got != s.want {
+			t.Fatalf("step %d (ok=%v): state %v, want %v", i, s.ok, got, s.want)
+		}
+	}
+}
+
+func TestCircuitBreakerUnit(t *testing.T) {
+	var c circuit
+	now := time.Now()
+	const threshold = 3
+	cooldown := 100 * time.Millisecond
+	for i := 0; i < threshold; i++ {
+		ok, trial := c.allow(now, cooldown)
+		if !ok || trial {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		c.onResult(false, false, threshold, now)
+	}
+	if c.snapshotState() != cbOpen {
+		t.Fatalf("state %d after %d failures, want open", c.snapshotState(), threshold)
+	}
+	if ok, _ := c.allow(now, cooldown); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	later := now.Add(cooldown + time.Millisecond)
+	ok, trial := c.allow(later, cooldown)
+	if !ok || !trial {
+		t.Fatalf("cooled-down breaker did not grant a half-open trial (ok=%v trial=%v)", ok, trial)
+	}
+	if ok, _ := c.allow(later, cooldown); ok {
+		t.Fatal("half-open breaker admitted a second request during the trial")
+	}
+	c.onResult(false, true, threshold, later)
+	if c.snapshotState() != cbOpen {
+		t.Fatal("failed trial did not re-open the breaker")
+	}
+	later = later.Add(cooldown + time.Millisecond)
+	if ok, trial = c.allow(later, cooldown); !ok || !trial {
+		t.Fatal("re-cooled breaker did not grant a second trial")
+	}
+	c.onResult(true, true, threshold, later)
+	if c.snapshotState() != cbClosed {
+		t.Fatal("successful trial did not close the breaker")
+	}
+	if c.opens.Load() != 2 || c.halfOpens.Load() != 2 || c.closes.Load() != 1 {
+		t.Fatalf("transition counters opens=%d halfOpens=%d closes=%d, want 2/2/1",
+			c.opens.Load(), c.halfOpens.Load(), c.closes.Load())
+	}
+	// A canceled trial frees the slot without a verdict.
+	c.onResult(false, false, threshold, later)
+	c.onResult(false, false, threshold, later)
+	c.onResult(false, false, threshold, later)
+	later = later.Add(cooldown + time.Millisecond)
+	if ok, trial = c.allow(later, cooldown); !ok || !trial {
+		t.Fatal("no trial after re-open")
+	}
+	c.onCanceled(true)
+	if ok, trial = c.allow(later, cooldown); !ok || !trial {
+		t.Fatal("canceled trial did not free the half-open slot")
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	var l latencyTracker
+	if l.quantile(0.9) != 0 {
+		t.Fatal("cold tracker must answer 0 (hedging off)")
+	}
+	for i := 1; i <= 100; i++ {
+		l.observe(time.Duration(i) * time.Millisecond)
+	}
+	q := l.quantile(0.9)
+	if q < 85*time.Millisecond || q > 95*time.Millisecond {
+		t.Fatalf("p90 of 1..100ms = %v, want ~90ms", q)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := retryBudget{ratio: 0.1, burst: 2}
+	for i := 0; i < 10; i++ {
+		b.observeRequest()
+	}
+	// 0.1*10 + 2 = 3 retries allowed.
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("retry %d refused inside the budget", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("retry admitted past the budget")
+	}
+	for i := 0; i < 10; i++ {
+		b.observeRequest()
+	}
+	if !b.allow() {
+		t.Fatal("budget did not replenish with traffic")
+	}
+}

@@ -53,6 +53,7 @@ func acquireArena() *reqArena { return arenaPool.Get().(*reqArena) }
 
 func releaseArena(a *reqArena) {
 	a.j.arena = nil // re-linked on next use; avoid a stale self-reference cycle surprise
+	a.j.ctx = nil   // a recycled arena must not look canceled to the dispatcher
 	arenaPool.Put(a)
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -16,6 +17,11 @@ import (
 type job struct {
 	x   *mat.Matrix
 	x32 *mat.Matrix32
+	// ctx is the originating request's context (nil = never canceled).
+	// The dispatcher drops jobs whose client is already gone — a closed
+	// connection, a router hedge that lost — before they cost an
+	// inference pass, counting them in targad_serve_canceled_total.
+	ctx context.Context
 	// identify requests the 3-way decision with strategy; strict marks
 	// the strategy as client-chosen, so a missing calibration fails the
 	// request instead of silently omitting decisions.
@@ -140,6 +146,23 @@ func (s *Server) drainQueue() {
 // frames coalesced with f64 traffic) split into one pass per element
 // type; in the common homogeneous case no split is allocated.
 func (s *Server) runBatch(jobs []*job) {
+	// Drop jobs whose client already disconnected (hedge cancel, closed
+	// connection) before they cost inference; the buffered resp send
+	// keeps the channel invariant for the abandoned handler.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			s.metrics.canceled.Add(1)
+			j.resp <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		live = append(live, j)
+	}
+	jobs = live
+	if len(jobs) == 0 {
+		return
+	}
+
 	lm := s.acquireModel()
 	if lm == nil {
 		for _, j := range jobs {

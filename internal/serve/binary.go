@@ -88,6 +88,7 @@ func (s *Server) handleScoreBinary(w http.ResponseWriter, r *http.Request, start
 	s.metrics.requests.Add(1)
 
 	j := &a.j
+	j.ctx = r.Context()
 	j.x, j.x32 = nil, nil
 	if useF32 {
 		j.x32 = a.x32

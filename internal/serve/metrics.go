@@ -20,6 +20,7 @@ type metrics struct {
 	requestOK    atomic.Int64 // scoring requests answered 200
 	requestErrs  atomic.Int64 // scoring requests answered 4xx/5xx (shed excluded)
 	shed         atomic.Int64 // scoring requests shed with 429
+	canceled     atomic.Int64 // queued jobs dropped pre-inference, client gone
 	tooLarge     atomic.Int64 // scoring requests rejected 413 (body over MaxBodyBytes)
 	binaryReqs   atomic.Int64 // scoring requests carried as binary wire frames
 	rows         atomic.Int64 // instance rows scored
@@ -61,6 +62,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, modelVersion int6
 	counter("targad_serve_requests_ok_total", "Scoring requests answered successfully.", m.requestOK.Load())
 	counter("targad_serve_request_errors_total", "Scoring requests that failed (shed excluded).", m.requestErrs.Load())
 	counter("targad_serve_shed_total", "Scoring requests shed with 429 because the queue was full.", m.shed.Load())
+	counter("targad_serve_canceled_total", "Queued scoring jobs dropped before inference because the client disconnected.", m.canceled.Load())
 	counter("targad_serve_request_too_large_total", "Scoring requests rejected with 413 for exceeding the body limit.", m.tooLarge.Load())
 	counter("targad_serve_binary_requests_total", "Scoring requests carried as binary wire frames.", m.binaryReqs.Load())
 	counter("targad_serve_rows_total", "Instance rows scored.", m.rows.Load())

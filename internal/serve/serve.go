@@ -27,6 +27,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -89,6 +90,13 @@ type Config struct {
 
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// InstanceID identifies this serving process to fleet probers: it
+	// is stamped on /healthz and /readyz as the X-Targad-Instance
+	// header, so a router can tell a restarted replica from a live one
+	// and re-verify it before trusting it again. Empty generates
+	// host-pid-starttime.
+	InstanceID string
 
 	// Monitor tunes drift monitoring: window size, ring granularity,
 	// and warn/alarm thresholds (zero values take monitor defaults).
@@ -181,6 +189,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.InstanceID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "targad"
+		}
+		cfg.InstanceID = fmt.Sprintf("%s-%d-%x", host, os.Getpid(), time.Now().UnixNano())
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -464,6 +479,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 
 	j := &a.j
+	j.ctx = r.Context()
 	j.x, j.x32 = a.x, nil
 	j.identify = true
 	j.strict = strict
@@ -534,6 +550,11 @@ func scoreErrStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client left before its job dispatched; 499 (nginx's
+		// client-closed-request) — nobody reads it, but the access log
+		// should not claim a server fault.
+		return 499
 	case strings.Contains(err.Error(), "input dim"),
 		strings.Contains(err.Error(), "instance width"):
 		return http.StatusBadRequest
@@ -631,12 +652,26 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int64{"model_version": v})
 }
 
+// InstanceID returns the identity this process stamps on its health
+// endpoints (Config.InstanceID, generated when unset).
+func (s *Server) InstanceID() string { return s.cfg.InstanceID }
+
+// setIdentity stamps the instance-identity headers fleet probers read:
+// which process answered, and which model generation it serves.
+func (s *Server) setIdentity(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("X-Targad-Instance", s.cfg.InstanceID)
+	h.Set("X-Targad-Model-Version", strconv.FormatInt(s.ModelVersion(), 10))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.setIdentity(w)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.setIdentity(w)
 	select {
 	case <-s.done:
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)

@@ -51,6 +51,20 @@ func ParseRequestHeader(b []byte) (Request, error) {
 	return r, nil
 }
 
+// ParseRequestFrameSize validates a request frame's leading
+// RequestHeaderSize bytes and returns the total frame length (header +
+// payload) the header announces, without touching the payload. Proxies
+// that forward frames opaquely use it to size-check and buffer a
+// request from the header alone; the parse limits guarantee the result
+// cannot overflow.
+func ParseRequestFrameSize(hdr []byte) (int64, error) {
+	h, err := ParseRequestHeader(hdr)
+	if err != nil {
+		return 0, err
+	}
+	return h.FrameSize(), nil
+}
+
 // DecodePayloadF64 decodes an f64 feature block into dst (grown via
 // mat.Ensure, nil allocates) and returns it. payload must be exactly
 // the block the header announced. Steady-state calls over a recycled

@@ -61,6 +61,23 @@
 // decoders reject unknown versions, frame types, and flag bits with
 // typed errors — a malformed or truncated frame can never panic the
 // decoder (FuzzDecodeFrame pins this).
+//
+// Opaque pass-through (proxies): an intermediary such as
+// cmd/targad-router may forward frames without decoding the payload.
+// The constraints that make this safe are part of the protocol
+// contract:
+//
+//   - A request frame's total length is fully determined by its
+//     16-byte header (ParseRequestFrameSize), so a proxy can validate
+//     and bound buffering before reading the payload and must reject a
+//     body that disagrees with the announced size.
+//   - Frames must be forwarded byte-for-byte — never re-encoded, split
+//     across requests, or coalesced — so scores routed through a proxy
+//     stay bitwise-identical to a direct response, and a buffered
+//     frame may be replayed verbatim on a retry to another replica.
+//   - An intermediary that answers for an unreachable fleet speaks the
+//     same error frame type (AppendError) a server would, so binary
+//     clients parse one failure shape end to end.
 package wire
 
 import (

@@ -282,3 +282,39 @@ func TestAppendRequestValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseRequestFrameSize(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	frame, err := AppendRequestF64(nil, rows, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRequestFrameSize(frame[:RequestHeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(len(frame)) {
+		t.Fatalf("ParseRequestFrameSize = %d, want the encoded frame length %d", got, len(frame))
+	}
+
+	f32, err := AppendRequestF32(nil, [][]float32{{1, 2}}, StrategyED, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseRequestFrameSize(f32[:RequestHeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(len(f32)) {
+		t.Fatalf("f32 ParseRequestFrameSize = %d, want %d", got, len(f32))
+	}
+
+	if _, err := ParseRequestFrameSize(frame[:RequestHeaderSize-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header error = %v, want ErrTruncated", err)
+	}
+	bad := append([]byte(nil), frame[:RequestHeaderSize]...)
+	bad[5] = TypeResponse
+	if _, err := ParseRequestFrameSize(bad); !errors.Is(err, ErrFrameType) {
+		t.Fatalf("non-request frame error = %v, want ErrFrameType", err)
+	}
+}

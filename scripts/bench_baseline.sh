@@ -10,14 +10,17 @@
 # in-process at both frame precisions, plus its over-HTTP twin),
 # capturing both ns/op and the allocation axis (B/op, allocs/op) so the
 # trajectory tracks the zero-allocation contracts alongside raw speed.
+# PR8 adds RouterScore: the same HTTP scoring workload direct to one
+# replica vs through targad-router (JSON and binary), so the routed-
+# path overhead is one division away.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR7.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR8.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -44,8 +47,17 @@ if [ -n "$benchtime" ]; then
     serve_args+=(-benchtime "$benchtime")
 fi
 
+# The router benchmark drives live HTTP servers like the serving ones;
+# direct and routed rows differ only by the hop through targad-router.
+router_args=(test -run '^$' -bench 'BenchmarkRouterScore'
+    -benchmem -timeout 30m ./internal/fleet)
+if [ -n "$benchtime" ]; then
+    router_args+=(-benchtime "$benchtime")
+fi
+
 raw="$(go "${args[@]}")"
 raw+=$'\n'"$(go "${serve_args[@]}")"
+raw+=$'\n'"$(go "${router_args[@]}")"
 echo "$raw" >&2
 
 echo "$raw" | awk \
@@ -77,8 +89,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 7,\n"
-    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed; ServeScoreBinary: zero-copy binary frames in-process at f64/f32 plus the over-HTTP twin)\",\n"
+    printf "  \"pr\": 8,\n"
+    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed; ServeScoreBinary: zero-copy binary frames in-process at f64/f32 plus the over-HTTP twin; RouterScore: direct-vs-routed HTTP scoring through targad-router, JSON and binary)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

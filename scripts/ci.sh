@@ -54,7 +54,7 @@ go test -tags noasm -count=1 -run 'TestServeF32' ./internal/serve
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn \
-    ./internal/serve ./internal/monitor
+    ./internal/serve ./internal/monitor ./internal/fleet
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
@@ -74,8 +74,19 @@ TARGAD_WORKERS=4 go test -count=1 -run 'Fault|Crash|Panic|Slow' \
     ./internal/parallel
 go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalError' \
     ./internal/nn
-go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle|TestBinaryFrameFaults|TestJSONBodyLimit413' \
+go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle|TestBinaryFrameFaults|TestJSONBodyLimit413|TestCanceledJobsDroppedBeforeDispatch|TestGracefulDrainMixedLoad' \
     ./internal/serve
+
+# Fleet chaos suite: targeted network probes (fleet/backend-latency,
+# -5xx, -drop, -flap) kill, stall, and flap replicas behind the router
+# mid-load; the suite asserts zero client-visible failures while at
+# least one replica stays healthy, the full circuit-breaker lifecycle,
+# hedge cancellation of the losing request, and bitwise-identical
+# scores routed vs direct.
+echo "== fleet chaos suite =="
+go test -count=1 \
+    -run 'TestChaosKillStallFlap|TestCircuitBreakerLifecycle|TestHedgeCancelsLoser|TestNoCandidate503|TestRoutedScoresBitwiseIdentical' \
+    ./internal/fleet
 
 # Fuzz smoke: 10s of coverage-guided fuzzing over the CSV loader and
 # the binary wire-frame decoder (the seed corpora always run in the
