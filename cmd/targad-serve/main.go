@@ -41,9 +41,21 @@
 // gauges; -drift-degrade fails /readyz on alarm). POST /reload?shadow=1
 // loads a candidate model that re-scores a sample of live traffic in
 // the background; POST /promote installs it, POST /discard drops it.
+//
+// The closed feedback loop (DESIGN.md §14) is opt-in: -feedback-dir
+// mounts POST /feedback (analyst verdicts land in a crash-safe
+// append-only store), -acquire-budget mounts GET /feedback/queue (the
+// rows whose labels would help the model most, by active-learning
+// informativeness), and -auto-retrain with -retrain-labeled and
+// -retrain-unlabeled arms the full cycle: a drift alarm (or POST
+// /retrain) fits a candidate on the verdict-merged training set,
+// shadow-evaluates it on live traffic, and promotes it automatically
+// when it passes the -retrain-max-flip / -retrain-max-delta gate. A
+// promoted model overwrites -model, so a restart serves it again.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -55,10 +67,15 @@ import (
 	"syscall"
 	"time"
 
+	"targad/internal/activelearn"
 	"targad/internal/buildinfo"
+	"targad/internal/core"
+	"targad/internal/dataset"
+	"targad/internal/feedback"
 	"targad/internal/mat"
 	"targad/internal/monitor"
 	"targad/internal/parallel"
+	"targad/internal/retrain"
 	"targad/internal/serve"
 )
 
@@ -84,6 +101,22 @@ func main() {
 		workers       = flag.Int("workers", 0, "compute worker pool size (default GOMAXPROCS; TARGAD_WORKERS env also honored)")
 		instanceID    = flag.String("instance-id", "", "identity stamped on /healthz and /readyz for fleet probers (default host-pid-starttime)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
+
+		feedbackDir   = flag.String("feedback-dir", "", "analyst verdict store directory; mounts POST /feedback (empty disables)")
+		acquireBudget = flag.Int("acquire-budget", 0, "active-learning queue capacity; mounts GET /feedback/queue (0 disables)")
+		acquireSample = flag.Float64("acquire-sample", 0.25, "fraction of live batches offered to the acquisition queue")
+
+		autoRetrain      = flag.Bool("auto-retrain", false, "retrain on drift alarm and auto-promote through shadow evaluation (needs -feedback-dir, -retrain-labeled, -retrain-unlabeled)")
+		retrainLabeled   = flag.String("retrain-labeled", "", "CSV of labeled target anomalies for retraining (type index in first column)")
+		retrainUnlabeled = flag.String("retrain-unlabeled", "", "CSV of unlabeled instances for retraining (features only)")
+		retrainHeader    = flag.Bool("retrain-csv-header", false, "retraining CSVs start with a header row")
+		retrainEpochs    = flag.Int("retrain-epochs", 30, "training epochs for retrained candidates")
+		retrainLR        = flag.Float64("retrain-lr", 1e-3, "learning rate for retrained candidates")
+		retrainK         = flag.Int("retrain-k", 0, "normal clusters for retrained candidates (0 = elbow method)")
+		retrainSeed      = flag.Int64("retrain-seed", 1, "random seed for retrained candidates (fixed seed = bitwise-reproducible retrains)")
+		retrainMaxFlip   = flag.Float64("retrain-max-flip", 0.2, "promotion gate: max fraction of sampled decisions a candidate may flip")
+		retrainMaxDelta  = flag.Float64("retrain-max-delta", 0.15, "promotion gate: max mean |S^tar delta| over sampled rows")
+		retrainMinRows   = flag.Int64("retrain-min-shadow-rows", 128, "sampled rows a candidate must re-score before the gate is judged")
 	)
 	timeouts := serve.DefaultHTTPTimeouts()
 	timeouts.RegisterFlags(flag.CommandLine)
@@ -111,6 +144,25 @@ func main() {
 		parallel.SetWorkers(*workers)
 	}
 
+	var store *feedback.Store
+	if *feedbackDir != "" {
+		var err error
+		store, err = feedback.Open(*feedbackDir, feedback.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "targad-serve: opening feedback store: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	var queue *activelearn.Queue
+	if *acquireBudget > 0 {
+		qc := activelearn.Config{Budget: *acquireBudget}
+		if store != nil {
+			qc.Labeled = store.Has
+		}
+		queue = activelearn.New(qc)
+	}
+
 	s, err := serve.New(serve.Config{
 		ModelPath:    *modelPath,
 		MaxBatch:     *maxBatch,
@@ -130,11 +182,51 @@ func main() {
 		DisableMonitor: *noMonitor,
 		DriftDegrade:   *driftDegrade,
 		ShadowSample:   *shadowSample,
+		Feedback:       store,
+		Acquire:        queue,
+		AcquireSample:  *acquireSample,
+		AutoRetrain:    *autoRetrain,
 		Logf:           log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
 		os.Exit(1)
+	}
+
+	var orch *retrain.Orchestrator
+	if *autoRetrain || *retrainLabeled != "" || *retrainUnlabeled != "" {
+		switch {
+		case store == nil:
+			fmt.Fprintln(os.Stderr, "targad-serve: retraining needs -feedback-dir (verdicts are the retraining signal)")
+			os.Exit(2)
+		case *retrainLabeled == "" || *retrainUnlabeled == "":
+			fmt.Fprintln(os.Stderr, "targad-serve: retraining needs both -retrain-labeled and -retrain-unlabeled (the base training set verdicts merge into)")
+			os.Exit(2)
+		}
+		fitCfg := core.DefaultConfig()
+		fitCfg.K = *retrainK
+		fitCfg.AEEpochs = *retrainEpochs
+		fitCfg.ClfEpochs = *retrainEpochs
+		fitCfg.AELR = *retrainLR
+		fitCfg.ClfLR = *retrainLR
+		labeledPath, unlabeledPath, header := *retrainLabeled, *retrainUnlabeled, *retrainHeader
+		orch, err = retrain.New(s, retrain.Config{
+			Store:         store,
+			Train:         func() (*dataset.TrainSet, error) { return loadTrainSet(labeledPath, unlabeledPath, header) },
+			Fit:           fitCfg,
+			Seed:          *retrainSeed,
+			MaxFlipRate:   *retrainMaxFlip,
+			MaxScoreDelta: *retrainMaxDelta,
+			MinShadowRows: *retrainMinRows,
+			SavePath:      *modelPath, // a restart serves the promoted model
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer orch.Close()
+		s.SetRetrain(orch)
 	}
 
 	// The hardened listener: header/read/write/idle timeouts close the
@@ -178,4 +270,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadTrainSet reads the retraining base set in the targad CLI's CSV
+// layout: labeled rows carry the target-type index in column 0,
+// unlabeled rows are features only. Called once per retrain cycle, so
+// an operator can update the CSVs between cycles without a restart.
+func loadTrainSet(labeledPath, unlabeledPath string, header bool) (*dataset.TrainSet, error) {
+	labeledRaw, err := loadCSVFile(labeledPath, header)
+	if err != nil {
+		return nil, err
+	}
+	unlabeled, err := loadCSVFile(unlabeledPath, header)
+	if err != nil {
+		return nil, err
+	}
+	if labeledRaw.Cols < 2 {
+		return nil, fmt.Errorf("%s: labeled rows need a type column plus at least one feature", labeledPath)
+	}
+	labeled := mat.New(labeledRaw.Rows, labeledRaw.Cols-1)
+	types := make([]int, labeledRaw.Rows)
+	maxType := 0
+	for i := 0; i < labeledRaw.Rows; i++ {
+		row := labeledRaw.Row(i)
+		t := int(row[0])
+		if t < 0 {
+			return nil, fmt.Errorf("%s: labeled row %d has negative type %v", labeledPath, i, row[0])
+		}
+		types[i] = t
+		if t > maxType {
+			maxType = t
+		}
+		copy(labeled.Row(i), row[1:])
+	}
+	return &dataset.TrainSet{
+		Labeled:        labeled,
+		LabeledType:    types,
+		NumTargetTypes: maxType + 1,
+		Unlabeled:      unlabeled,
+	}, nil
+}
+
+func loadCSVFile(path string, header bool) (*mat.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, _, err := dataset.LoadCSV(bufio.NewReader(f), header)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }

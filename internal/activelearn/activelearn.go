@@ -1,0 +1,302 @@
+// Package activelearn is the budgeted label-acquisition policy: given
+// a stream of served rows and a fixed analyst budget, it keeps the
+// rows whose labels would move the model most, so the analyst labels
+// what matters instead of a random sample of traffic.
+//
+// The informativeness of a row blends the two signals the SDA²E-style
+// active-learning literature uses for exactly this setting:
+//
+//   - Uncertainty: how close the served S^tar score sits to the
+//     calibrated decision threshold. A row the model barely called is
+//     the row whose label resolves the most ambiguity.
+//   - Similarity: how close the row lies to the centroid of the rows
+//     analysts have already confirmed as targets. The paper's premise
+//     is that labeled targets are scarce; rows resembling the known
+//     targets are the likeliest new D_L members.
+//
+// The queue is a bounded priority queue keyed by that blend: when the
+// budget is full, a more informative row evicts the least informative
+// one. Rows already labeled (the caller wires a fingerprint filter,
+// typically feedback.Store.Has) and rows already queued are never
+// duplicated.
+package activelearn
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+
+	"targad/internal/feedback"
+)
+
+// Config tunes the acquisition policy. Zero values take defaults.
+type Config struct {
+	// Budget bounds the queue: at most this many candidate rows are
+	// held, the least informative evicted first (default 256).
+	Budget int
+	// UncertaintyWeight and SimilarityWeight blend the two
+	// informativeness terms (defaults 0.7 / 0.3). They are normalized
+	// at New, so only their ratio matters.
+	UncertaintyWeight, SimilarityWeight float64
+	// Labeled, when set, filters out rows that already carry a
+	// verdict (wire feedback.Store.Has here).
+	Labeled func(fp uint64) bool
+}
+
+// Item is one acquisition candidate, most informative first in TopN.
+type Item struct {
+	Fingerprint  uint64    `json:"-"`
+	Features     []float64 `json:"features"`
+	Score        float64   `json:"score"`
+	Decision     string    `json:"decision,omitempty"`
+	ModelVersion int64     `json:"model_version"`
+	Info         float64   `json:"info"`
+}
+
+// entry is one queued row plus its heap index.
+type entry struct {
+	item Item
+	idx  int // position in the min-heap
+}
+
+// Stats counts the queue's lifetime traffic for /metrics.
+type Stats struct {
+	Offered  int64 // rows offered to the queue
+	Admitted int64 // rows that entered (or refreshed) the queue
+	Evicted  int64 // rows pushed out by more informative ones
+	Depth    int   // rows currently held
+	Labeled  int64 // labeled-target observations folded into the centroid
+}
+
+// Queue is the bounded acquisition queue. Safe for concurrent use.
+type Queue struct {
+	cfg Config
+
+	mu    sync.Mutex
+	byFP  map[uint64]*entry
+	h     entryHeap // min-heap on Info: h.es[0] is the eviction victim
+	free  [][]float64
+	stats Stats
+
+	// centroid is the running mean of analyst-confirmed target rows;
+	// nLabeled counts them. Rows of a different width than the
+	// centroid reset it (a model/schema change).
+	centroid []float64
+	nLabeled int64
+}
+
+// New builds a queue from cfg.
+func New(cfg Config) *Queue {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 256
+	}
+	if cfg.UncertaintyWeight <= 0 && cfg.SimilarityWeight <= 0 {
+		cfg.UncertaintyWeight, cfg.SimilarityWeight = 0.7, 0.3
+	}
+	if s := cfg.UncertaintyWeight + cfg.SimilarityWeight; s > 0 {
+		cfg.UncertaintyWeight /= s
+		cfg.SimilarityWeight /= s
+	}
+	return &Queue{cfg: cfg, byFP: make(map[uint64]*entry)}
+}
+
+// Informativeness returns the blended acquisition score of a row:
+// uncertainty decays with the |score − threshold| distance to the
+// calibrated S^tar cut, similarity with the mean squared distance to
+// the labeled-target centroid (0 until any target is confirmed).
+func (q *Queue) Informativeness(features []float64, score, threshold float64) float64 {
+	u := 1 / (1 + 8*math.Abs(score-threshold))
+	q.mu.Lock()
+	c := q.centroid
+	q.mu.Unlock()
+	s := 0.0
+	if len(c) == len(features) && len(c) > 0 {
+		var msd float64
+		for i, v := range features {
+			d := v - c[i]
+			msd += d * d
+		}
+		msd /= float64(len(features))
+		s = 1 / (1 + msd)
+	}
+	return q.cfg.UncertaintyWeight*u + q.cfg.SimilarityWeight*s
+}
+
+// Offer proposes one served row. threshold is the calibrated S^tar
+// cut of the serving model (1 − k/(m+k)); decision the served 3-way
+// call ("" when none). The row enters the queue when it is unlabeled,
+// not yet queued (a re-offer refreshes score and informativeness in
+// place), and either the budget has room or it beats the least
+// informative entry. The feature slice is copied on admission.
+func (q *Queue) Offer(features []float64, score, threshold float64, decision string, modelVersion int64) bool {
+	if len(features) == 0 {
+		return false
+	}
+	fp := feedback.Fingerprint(features)
+	if q.cfg.Labeled != nil && q.cfg.Labeled(fp) {
+		return false
+	}
+	info := q.Informativeness(features, score, threshold)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Offered++
+	if e, ok := q.byFP[fp]; ok {
+		e.item.Score = score
+		e.item.Decision = decision
+		e.item.ModelVersion = modelVersion
+		e.item.Info = info
+		heap.Fix(&q.h, e.idx)
+		q.stats.Admitted++
+		return true
+	}
+	if len(q.h.es) >= q.cfg.Budget {
+		if info <= q.h.es[0].item.Info {
+			return false
+		}
+		victim := heap.Pop(&q.h).(*entry)
+		delete(q.byFP, victim.item.Fingerprint)
+		q.recycle(victim.item.Features)
+		q.stats.Evicted++
+	}
+	e := &entry{item: Item{
+		Fingerprint:  fp,
+		Features:     q.copyRow(features),
+		Score:        score,
+		Decision:     decision,
+		ModelVersion: modelVersion,
+		Info:         info,
+	}}
+	heap.Push(&q.h, e)
+	q.byFP[fp] = e
+	q.stats.Admitted++
+	return true
+}
+
+// Remove drops a row from the queue — typically because its verdict
+// just arrived.
+func (q *Queue) Remove(fp uint64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.byFP[fp]
+	if !ok {
+		return false
+	}
+	heap.Remove(&q.h, e.idx)
+	delete(q.byFP, fp)
+	q.recycle(e.item.Features)
+	return true
+}
+
+// ObserveLabeledTarget folds one analyst-confirmed target row into the
+// running centroid the similarity term measures against.
+func (q *Queue) ObserveLabeledTarget(features []float64) {
+	if len(features) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.centroid) != len(features) {
+		q.centroid = make([]float64, len(features))
+		q.nLabeled = 0
+	}
+	q.nLabeled++
+	q.stats.Labeled++
+	inv := 1 / float64(q.nLabeled)
+	for i, v := range features {
+		q.centroid[i] += (v - q.centroid[i]) * inv
+	}
+}
+
+// TopN returns up to n candidates, most informative first (ties broken
+// by fingerprint for deterministic output). Features are copied, so
+// the result stays valid after concurrent evictions.
+func (q *Queue) TopN(n int) []Item {
+	q.mu.Lock()
+	items := make([]Item, len(q.h.es))
+	for i, e := range q.h.es {
+		items[i] = e.item
+		items[i].Features = append([]float64(nil), e.item.Features...)
+	}
+	q.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Info != items[j].Info {
+			return items[i].Info > items[j].Info
+		}
+		return items[i].Fingerprint < items[j].Fingerprint
+	})
+	if n >= 0 && n < len(items) {
+		items = items[:n]
+	}
+	return items
+}
+
+// Len returns the current queue depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h.es)
+}
+
+// Budget returns the configured capacity.
+func (q *Queue) Budget() int { return q.cfg.Budget }
+
+// Stats returns the lifetime counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Depth = len(q.h.es)
+	return st
+}
+
+// copyRow copies features into a recycled slice when one fits.
+func (q *Queue) copyRow(features []float64) []float64 {
+	for i := len(q.free) - 1; i >= 0; i-- {
+		if cap(q.free[i]) >= len(features) {
+			dst := q.free[i][:len(features)]
+			q.free[i] = q.free[len(q.free)-1]
+			q.free = q.free[:len(q.free)-1]
+			copy(dst, features)
+			return dst
+		}
+	}
+	return append([]float64(nil), features...)
+}
+
+// recycle returns an evicted row's slice to the free list (bounded by
+// the budget, the most slices ever simultaneously evictable).
+func (q *Queue) recycle(row []float64) {
+	if len(q.free) < q.cfg.Budget {
+		q.free = append(q.free, row)
+	}
+}
+
+// entryHeap is a min-heap on informativeness (container/heap).
+type entryHeap struct{ es []*entry }
+
+func (h *entryHeap) Len() int { return len(h.es) }
+func (h *entryHeap) Less(i, j int) bool {
+	if h.es[i].item.Info != h.es[j].item.Info {
+		return h.es[i].item.Info < h.es[j].item.Info
+	}
+	// Equal informativeness: evict the larger fingerprint first so
+	// eviction order is deterministic.
+	return h.es[i].item.Fingerprint > h.es[j].item.Fingerprint
+}
+func (h *entryHeap) Swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.es[i].idx = i
+	h.es[j].idx = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.idx = len(h.es)
+	h.es = append(h.es, e)
+}
+func (h *entryHeap) Pop() any {
+	e := h.es[len(h.es)-1]
+	h.es = h.es[:len(h.es)-1]
+	return e
+}

@@ -1,0 +1,120 @@
+package activelearn
+
+import (
+	"math"
+	"testing"
+
+	"targad/internal/feedback"
+)
+
+func TestBudgetEvictsLeastInformative(t *testing.T) {
+	q := New(Config{Budget: 3, UncertaintyWeight: 1})
+	const thr = 0.5
+	// Scores at increasing distance from the threshold: row 0 is the
+	// most informative, row 4 the least.
+	scores := []float64{0.5, 0.45, 0.6, 0.8, 0.05}
+	for i, s := range scores {
+		q.Offer([]float64{float64(i), 1}, s, thr, "", 1)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want budget 3", q.Len())
+	}
+	top := q.TopN(-1)
+	want := map[float64]bool{0: true, 1: true, 2: true} // the three closest to thr
+	for _, it := range top {
+		if !want[it.Features[0]] {
+			t.Fatalf("row %v survived; want only the three most informative", it.Features[0])
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Info > top[i-1].Info {
+			t.Fatalf("TopN not sorted: info[%d]=%v > info[%d]=%v", i, top[i].Info, i-1, top[i-1].Info)
+		}
+	}
+}
+
+func TestOfferDedupsAndRefreshes(t *testing.T) {
+	q := New(Config{Budget: 8})
+	row := []float64{1, 2, 3}
+	q.Offer(row, 0.9, 0.5, "target", 1)
+	q.Offer(row, 0.51, 0.5, "normal", 2) // same row, new score
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after re-offer, want 1", q.Len())
+	}
+	it := q.TopN(1)[0]
+	if it.Score != 0.51 || it.ModelVersion != 2 || it.Decision != "normal" {
+		t.Fatalf("re-offer did not refresh: %+v", it)
+	}
+}
+
+func TestLabeledFilterAndRemove(t *testing.T) {
+	labeled := map[uint64]bool{}
+	q := New(Config{Budget: 8, Labeled: func(fp uint64) bool { return labeled[fp] }})
+	row := []float64{4, 5}
+	fp := feedback.Fingerprint(row)
+
+	labeled[fp] = true
+	if q.Offer(row, 0.5, 0.5, "", 1) {
+		t.Fatal("Offer admitted an already-labeled row")
+	}
+	delete(labeled, fp)
+	if !q.Offer(row, 0.5, 0.5, "", 1) {
+		t.Fatal("Offer rejected an unlabeled row with free budget")
+	}
+	if !q.Remove(fp) || q.Len() != 0 {
+		t.Fatal("Remove failed to drop the queued row")
+	}
+	if q.Remove(fp) {
+		t.Fatal("Remove reported dropping an absent row")
+	}
+}
+
+func TestSimilarityPullsTowardLabeledTargets(t *testing.T) {
+	q := New(Config{Budget: 8, UncertaintyWeight: 0.5, SimilarityWeight: 0.5})
+	// Before any labeled target, similarity contributes nothing.
+	base := q.Informativeness([]float64{0, 0}, 0.9, 0.5)
+	q.ObserveLabeledTarget([]float64{0, 0})
+	q.ObserveLabeledTarget([]float64{0.2, 0})
+	near := q.Informativeness([]float64{0.1, 0}, 0.9, 0.5)
+	far := q.Informativeness([]float64{50, 50}, 0.9, 0.5)
+	if !(near > far) {
+		t.Fatalf("near-centroid info %v not above far %v", near, far)
+	}
+	if !(near > base) {
+		t.Fatalf("similarity term did not raise info: %v vs baseline %v", near, base)
+	}
+}
+
+func TestUncertaintyPeaksAtThreshold(t *testing.T) {
+	q := New(Config{Budget: 8, UncertaintyWeight: 1})
+	at := q.Informativeness([]float64{1}, 0.5, 0.5)
+	off := q.Informativeness([]float64{1}, 0.9, 0.5)
+	if !(at > off) {
+		t.Fatalf("info at threshold %v not above off-threshold %v", at, off)
+	}
+	if math.Abs(at-1) > 1e-12 {
+		t.Fatalf("info at threshold = %v, want 1", at)
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New(Config{Budget: 1, UncertaintyWeight: 1})
+	q.Offer([]float64{1}, 0.5, 0.5, "", 1)  // admit
+	q.Offer([]float64{2}, 0.49, 0.5, "", 1) // evict row 1? no: less informative → rejected
+	q.Offer([]float64{3}, 0.5, 0.5, "", 1)  // ties do not evict (must beat the min)
+	st := q.Stats()
+	if st.Offered != 3 || st.Admitted != 1 || st.Evicted != 0 || st.Depth != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	// A strictly more informative row within eps... use a closer score.
+	q2 := New(Config{Budget: 1, UncertaintyWeight: 1})
+	q2.Offer([]float64{1}, 0.8, 0.5, "", 1)
+	q2.Offer([]float64{2}, 0.5, 0.5, "", 1) // strictly better → evicts
+	st2 := q2.Stats()
+	if st2.Evicted != 1 || st2.Depth != 1 {
+		t.Fatalf("Stats after eviction = %+v", st2)
+	}
+	if got := q2.TopN(1)[0].Features[0]; got != 2 {
+		t.Fatalf("surviving row %v, want the more informative 2", got)
+	}
+}

@@ -100,6 +100,9 @@ func (mo *Model) fitHash(train *dataset.TrainSet) uint64 {
 		c.K, c.KMin, c.KMax, c.Alpha, c.LargePoolThreshold, c.Eta, c.Lambda1, c.Lambda2, c.UseOE, c.UseRE, c.FreezeWeights)
 	fmt.Fprintf(h, "|ae=%v,%g,%d,%d|clf=%v,%g,%d,%d",
 		c.AEHidden, c.AELR, c.AEBatch, c.AEEpochs, c.ClfHidden, c.ClfLR, c.ClfBatch, c.ClfEpochs)
+	if c.WarmStart != nil {
+		fmt.Fprintf(h, "|ws=%x", c.WarmStart.fingerprint())
+	}
 	return h.Sum64()
 }
 

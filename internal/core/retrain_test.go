@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"targad/internal/dataset"
+)
+
+// quickConfig shrinks testConfig further: warm-start tests fit twice.
+func quickConfig() Config {
+	cfg := testConfig()
+	cfg.AEEpochs = 2
+	cfg.ClfEpochs = 8
+	return cfg
+}
+
+func fitQuick(t *testing.T, cfg Config, seed int64, train *dataset.TrainSet) *Model {
+	t.Helper()
+	m := New(cfg, seed)
+	if err := m.Fit(context.Background(), train); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWarmStartStateRoundTrip(t *testing.T) {
+	if (New(quickConfig(), 1)).WarmStartState() != nil {
+		t.Fatal("unfitted model returned a warm-start snapshot")
+	}
+	b := testBundle(t, 1)
+	m := fitQuick(t, quickConfig(), 1, b.Train)
+	ws := m.WarmStartState()
+	if ws == nil {
+		t.Fatal("fitted model returned nil warm-start snapshot")
+	}
+	if ws.Dim != b.Train.Dim() || ws.NumClasses != m.NumTargetTypes()+m.NumNormalClusters() {
+		t.Fatalf("snapshot geometry %d/%d", ws.Dim, ws.NumClasses)
+	}
+	if len(ws.Params) == 0 {
+		t.Fatal("snapshot has no parameter tensors")
+	}
+	// The snapshot is a copy, not a view of the live network.
+	ws.Params[0][0] += 1
+	if m.WarmStartState().Params[0][0] == ws.Params[0][0] {
+		t.Fatal("WarmStartState aliases the live classifier parameters")
+	}
+}
+
+func TestWarmStartChangesFitDeterministically(t *testing.T) {
+	b := testBundle(t, 1)
+	base := fitQuick(t, quickConfig(), 1, b.Train)
+	ws := base.WarmStartState()
+
+	cold := fitQuick(t, quickConfig(), 2, b.Train)
+
+	warmCfg := quickConfig()
+	warmCfg.WarmStart = ws
+	warm1 := fitQuick(t, warmCfg, 2, b.Train)
+	warm2 := fitQuick(t, warmCfg, 2, b.Train)
+
+	x := b.Test.X
+	sCold, err := cold.Score(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := warm1.Score(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := warm2.Score(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, differs := true, false
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			same = false
+		}
+		if s1[i] != sCold[i] {
+			differs = true
+		}
+	}
+	if !same {
+		t.Fatal("two warm-started fits with identical inputs are not bitwise-identical")
+	}
+	if !differs {
+		t.Fatal("warm start had no effect: scores match a cold fit exactly")
+	}
+}
+
+func TestWarmStartShapeMismatchIgnored(t *testing.T) {
+	b := testBundle(t, 1)
+	base := fitQuick(t, quickConfig(), 1, b.Train)
+	ws := base.WarmStartState()
+
+	// Different hidden stack → snapshot must be skipped, not crash, and
+	// the fit must equal a cold fit of the same config bitwise.
+	cfg := quickConfig()
+	cfg.ClfHidden = []int{8, 8}
+	cold := fitQuick(t, cfg, 3, b.Train)
+	cfg.WarmStart = ws
+	warm := fitQuick(t, cfg, 3, b.Train)
+
+	sc, err := cold.Score(context.Background(), b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := warm.Score(context.Background(), b.Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sc {
+		if sc[i] != sw[i] {
+			t.Fatal("mismatched warm-start snapshot still changed the fit")
+		}
+	}
+}
+
+func TestWarmStartChangesFitHash(t *testing.T) {
+	b := testBundle(t, 1)
+	base := fitQuick(t, quickConfig(), 1, b.Train)
+
+	m1 := New(quickConfig(), 2)
+	m1.m, m1.dim = b.Train.NumTargetTypes, b.Train.Dim()
+	cfg := quickConfig()
+	cfg.WarmStart = base.WarmStartState()
+	m2 := New(cfg, 2)
+	m2.m, m2.dim = b.Train.NumTargetTypes, b.Train.Dim()
+	if m1.fitHash(b.Train) == m2.fitHash(b.Train) {
+		t.Fatal("warm start does not change the checkpoint fit hash")
+	}
+}
+
+func TestNormalPrior(t *testing.T) {
+	if p := New(quickConfig(), 1).NormalPrior(); p != 0 {
+		t.Fatalf("unfitted NormalPrior = %v, want 0", p)
+	}
+	b := testBundle(t, 1)
+	m := fitQuick(t, quickConfig(), 1, b.Train)
+	want := float64(m.NumNormalClusters()) / float64(m.NumTargetTypes()+m.NumNormalClusters())
+	if got := m.NormalPrior(); got != want {
+		t.Fatalf("NormalPrior = %v, want %v", got, want)
+	}
+}
+
+func TestMergeFeedbackAppendsInOrder(t *testing.T) {
+	b := testBundle(t, 1)
+	base := b.Train
+	vb := VerdictBatch{
+		TargetRows:     [][]float64{row(base.Dim(), 0.25), row(base.Dim(), 0.75)},
+		TargetTypes:    []int{1, 0},
+		TargetRepeat:   3,
+		UnlabeledRows:  [][]float64{row(base.Dim(), -0.5)},
+		UnlabeledKinds: []dataset.Kind{dataset.KindNonTarget},
+	}
+	merged, err := MergeFeedback(base, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Labeled.Rows, base.Labeled.Rows+6; got != want {
+		t.Fatalf("labeled rows %d, want %d (repeat ×3)", got, want)
+	}
+	if got, want := merged.Unlabeled.Rows, base.Unlabeled.Rows+1; got != want {
+		t.Fatalf("unlabeled rows %d, want %d", got, want)
+	}
+	// Appended in order, types repeated with their rows.
+	for r := 0; r < 3; r++ {
+		i := base.Labeled.Rows + r
+		if merged.LabeledType[i] != 1 || merged.Labeled.Row(i)[0] != 0.25 {
+			t.Fatalf("repeat %d of target row 0 misplaced", r)
+		}
+		j := base.Labeled.Rows + 3 + r
+		if merged.LabeledType[j] != 0 || merged.Labeled.Row(j)[0] != 0.75 {
+			t.Fatalf("repeat %d of target row 1 misplaced", r)
+		}
+	}
+	if merged.UnlabeledKind[merged.Unlabeled.Rows-1] != dataset.KindNonTarget {
+		t.Fatal("verdict-implied kind not recorded")
+	}
+	// The base set was not mutated.
+	if base.Labeled.Rows+6 != merged.Labeled.Rows || len(base.LabeledType)+6 != len(merged.LabeledType) {
+		t.Fatal("merge resized the base set")
+	}
+
+	// Determinism: merging twice yields byte-identical sets.
+	again, err := MergeFeedback(base, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range merged.Labeled.Data {
+		if again.Labeled.Data[i] != v {
+			t.Fatal("two identical merges differ")
+		}
+	}
+}
+
+func TestMergeFeedbackValidates(t *testing.T) {
+	b := testBundle(t, 1)
+	base := b.Train
+	cases := []VerdictBatch{
+		{TargetRows: [][]float64{row(base.Dim(), 1)}},                                             // rows without types
+		{TargetRows: [][]float64{row(base.Dim()+1, 1)}, TargetTypes: []int{0}},                    // bad dim
+		{TargetRows: [][]float64{row(base.Dim(), 1)}, TargetTypes: []int{base.NumTargetTypes}},    // type out of range
+		{UnlabeledRows: [][]float64{row(base.Dim()-1, 1)}},                                        // bad dim
+		{UnlabeledRows: [][]float64{row(base.Dim(), 1)}, UnlabeledKinds: make([]dataset.Kind, 2)}, // kinds misaligned
+	}
+	for i, vb := range cases {
+		if _, err := MergeFeedback(base, vb); err == nil {
+			t.Fatalf("case %d: invalid batch accepted", i)
+		}
+	}
+	if _, err := MergeFeedback(&dataset.TrainSet{}, VerdictBatch{}); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func row(dim int, v float64) []float64 {
+	r := make([]float64, dim)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}

@@ -97,6 +97,14 @@ type Config struct {
 	// configuration, and data resumes bitwise-identically instead of
 	// starting over.
 	Checkpoint CheckpointConfig
+
+	// WarmStart, when set and shape-compatible with the classifier this
+	// fit builds, replaces the random initial parameters with a prior
+	// model's trained values (see Model.WarmStartState). Applied after
+	// every fresh network construction — including LR-halving retries —
+	// so a warm-started fit stays bitwise-reproducible. A mismatched
+	// snapshot is ignored.
+	WarmStart *WarmStart
 }
 
 // DefaultConfig returns the hyperparameters of Section IV-C.
@@ -418,6 +426,9 @@ func (mo *Model) trainClassifierAttempt(ctx context.Context, train *dataset.Trai
 		return fmt.Errorf("targad: classifier: %w", err)
 	}
 	mo.clf = clf
+	if ws := mo.cfg.WarmStart; ws.matches(mo.dim, numClasses, hidden) {
+		restoreParams(clf, ws.Params)
+	}
 
 	// The two supervised pools of Eq. (3): D_L with target pseudo-
 	// labels and D_U^N with cluster pseudo-labels. The equation

@@ -1,0 +1,281 @@
+package feedback
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecord(i int, v Verdict) Record {
+	return Record{
+		Features:     []float64{float64(i), float64(i) * 0.5, -float64(i)},
+		Score:        0.1 * float64(i),
+		Decision:     "target",
+		Verdict:      v,
+		TargetType:   i % 3,
+		ModelVersion: int64(i + 1),
+		ReceivedAt:   time.Unix(1700000000+int64(i), 123).UTC(),
+	}
+}
+
+func mustOpen(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestAppendSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Config{})
+	for i := 0; i < 10; i++ {
+		added, err := s.Append(testRecord(i, Verdict(i%3)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if !added {
+			t.Fatalf("Append %d: reported duplicate for a fresh row", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Config{})
+	defer s2.Close()
+	recs := s2.Snapshot()
+	if len(recs) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		want := testRecord(i, Verdict(i%3))
+		if rec.Score != want.Score || rec.Verdict != want.Verdict ||
+			rec.TargetType != want.TargetType || rec.ModelVersion != want.ModelVersion ||
+			rec.Decision != want.Decision || !rec.ReceivedAt.Equal(want.ReceivedAt) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+		for j, f := range rec.Features {
+			if f != want.Features[j] {
+				t.Fatalf("record %d feature %d = %v, want %v", i, j, f, want.Features[j])
+			}
+		}
+	}
+}
+
+func TestDedupLatestVerdictWinsStableOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Config{})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(testRecord(i, VerdictNonTarget)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-label row 1: same features, new verdict.
+	added, err := s.Append(testRecord(1, VerdictTarget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("re-label of an existing row reported added=true")
+	}
+	if n := s.Len(); n != 5 {
+		t.Fatalf("Len = %d after dedup, want 5", n)
+	}
+	if frames, dups := s.Stats(); frames != 6 || dups != 1 {
+		t.Fatalf("Stats = (%d, %d), want (6, 1)", frames, dups)
+	}
+	check := func(recs []Record) {
+		t.Helper()
+		if recs[1].Verdict != VerdictTarget {
+			t.Fatalf("row 1 verdict %v, want the revised %v", recs[1].Verdict, VerdictTarget)
+		}
+		for i, rec := range recs {
+			if rec.Features[0] != float64(i) {
+				t.Fatalf("row %d moved: feature[0] = %v", i, rec.Features[0])
+			}
+		}
+	}
+	check(s.Snapshot())
+	s.Close()
+
+	// Replay applies the revision in log order too.
+	s2 := mustOpen(t, dir, Config{})
+	defer s2.Close()
+	check(s2.Snapshot())
+}
+
+func TestHasAndFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Config{})
+	defer s.Close()
+	rec := testRecord(3, VerdictBenign)
+	fp := Fingerprint(rec.Features)
+	if s.Has(fp) {
+		t.Fatal("Has reported an unlabeled row")
+	}
+	if _, err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(fp) {
+		t.Fatal("Has missed a labeled row")
+	}
+	if Fingerprint([]float64{1, 2}) == Fingerprint([]float64{2, 1}) {
+		t.Fatal("fingerprint ignores feature order")
+	}
+}
+
+func TestRotationSealsSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny rotate threshold: every append rotates.
+	s := mustOpen(t, dir, Config{RotateBytes: 1})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(testRecord(i, VerdictTarget)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if len(segs) != 4 {
+		t.Fatalf("%d sealed segments, want 4", len(segs))
+	}
+
+	s2 := mustOpen(t, dir, Config{RotateBytes: 1})
+	if n := s2.Len(); n != 4 {
+		t.Fatalf("recovered %d records across segments, want 4", n)
+	}
+	// New appends land in fresh segments, not over old ones.
+	if _, err := s2.Append(testRecord(9, VerdictTarget)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	segs, _ = filepath.Glob(filepath.Join(dir, segmentGlob))
+	if len(segs) != 5 {
+		t.Fatalf("%d sealed segments after reopen+append, want 5", len(segs))
+	}
+}
+
+// TestCrashRecoveryEveryPrefix is the crash-safety property test: a
+// valid active log truncated at EVERY byte prefix must either recover
+// cleanly (records up to the cut, never past it) or — never — panic
+// or corrupt later appends. This mirrors core/persist.go's ErrBadFormat
+// table tests for the torn-write failure mode a record log adds.
+func TestCrashRecoveryEveryPrefix(t *testing.T) {
+	master := t.TempDir()
+	s := mustOpen(t, master, Config{})
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(testRecord(i, Verdict(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	full, err := os.ReadFile(filepath.Join(master, activeName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, activeName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("cut %d/%d: Open failed: %v", cut, len(full), err)
+		}
+		got := st.Len()
+		if got > n {
+			t.Fatalf("cut %d: recovered %d records from a %d-record log", cut, got, n)
+		}
+		// The store must keep working after recovery: append and reopen.
+		if _, err := st.Append(testRecord(100+cut, VerdictBenign)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		want := got + 1
+		st.Close()
+		st2, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen after recovery: %v", cut, err)
+		}
+		if st2.Len() != want {
+			t.Fatalf("cut %d: %d records after recovery+append, want %d", cut, st2.Len(), want)
+		}
+		st2.Close()
+	}
+}
+
+// TestBadFormatTable mirrors persist.go's typed-error contract: wrong
+// magic and future versions fail with the matching sentinel, and a
+// corrupted sealed segment (which only a clean rotation can produce)
+// is ErrBadFormat, not silent data loss.
+func TestBadFormatTable(t *testing.T) {
+	goodHeader := func() []byte {
+		b := []byte(logMagic)
+		return binary.LittleEndian.AppendUint32(b, logVersion)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"wrong magic", append([]byte("NOTAFBKLG"), 0, 0, 0, 1), ErrBadFormat},
+		{"gob magic", append([]byte("TARGADGOB"), 0, 0, 0, 1), ErrBadFormat},
+		{"future version", append([]byte(logMagic), 99, 0, 0, 0), ErrUnknownVersion},
+		{"version zero", append([]byte(logMagic), 0, 0, 0, 0), ErrUnknownVersion},
+		{"torn segment body", append(goodHeader(), 1, 2, 3), ErrBadFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			// Sealed segments apply the strict policy.
+			if err := os.WriteFile(filepath.Join(dir, "seg-00000000.log"), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(dir, Config{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Open = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The same wrong-magic active log must also refuse (never clobber a
+	// foreign file), while a short/torn active header rebuilds cleanly.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, activeName), append([]byte("NOTAFBKLG"), 0, 0, 0, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Config{}); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("active wrong magic: Open = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{})
+	if _, err := s.Append(Record{}); err == nil {
+		t.Fatal("Append accepted a record with no features")
+	}
+	s.Close()
+	if _, err := s.Append(testRecord(0, VerdictTarget)); err == nil {
+		t.Fatal("Append accepted a record after Close")
+	}
+}
+
+func TestParseVerdict(t *testing.T) {
+	cases := map[string]Verdict{"target": VerdictTarget, "non-target": VerdictNonTarget, "benign": VerdictBenign}
+	for s, want := range cases {
+		v, ok := ParseVerdict(s)
+		if !ok || v != want {
+			t.Fatalf("ParseVerdict(%q) = %v, %v", s, v, ok)
+		}
+		if v.String() != s {
+			t.Fatalf("%v.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if _, ok := ParseVerdict("bogus"); ok {
+		t.Fatal("ParseVerdict accepted bogus")
+	}
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeReplica is a scripted backend for forwarding-policy tests: it
+// answers /readyz like a real replica and counts /feedback traffic.
+type fakeReplica struct {
+	ts           *httptest.Server
+	feedbackHits atomic.Int64
+	queueHits    atomic.Int64
+	lastBody     atomic.Pointer[[]byte]
+	lastQuery    atomic.Pointer[string]
+	failFeedback atomic.Bool
+	failQueue    atomic.Bool
+}
+
+func newFakeReplica(t testing.TB, instance string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Targad-Instance", instance)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		f.feedbackHits.Add(1)
+		if f.failFeedback.Load() {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		f.lastBody.Store(&b)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"recorded":true}`))
+	})
+	mux.HandleFunc("/feedback/queue", func(w http.ResponseWriter, r *http.Request) {
+		f.queueHits.Add(1)
+		if f.failQueue.Load() {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		q := r.URL.RawQuery
+		f.lastQuery.Store(&q)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"items":[],"depth":0,"budget":0}`))
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func newFeedbackFleet(t testing.TB, replicas []*fakeReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, f := range replicas {
+		urls[i] = f.ts.URL
+	}
+	r, err := New(Config{
+		Backends:      urls,
+		ProbeInterval: -1,
+		MaxRetries:    2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	r.ProbeAll()
+	return r, newRouterServer(t, r)
+}
+
+// TestFeedbackForwarding: POST /feedback and GET /feedback/queue route
+// through the fleet to exactly one replica — a tenant's verdicts and
+// its acquisition reads land on its home replica — with the body and
+// query string passed through opaquely.
+func TestFeedbackForwarding(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	_, ts := newFeedbackFleet(t, replicas)
+
+	body := []byte(`{"features":[0.5,0.25],"verdict":"target","target_type":1}`)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/feedback", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Targad-Tenant", "acme")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /feedback: status %d: %s", resp.StatusCode, out)
+	}
+	if !bytes.Contains(out, []byte("recorded")) {
+		t.Fatalf("backend response not passed through: %s", out)
+	}
+	var home *fakeReplica
+	total := int64(0)
+	for _, f := range replicas {
+		n := f.feedbackHits.Load()
+		total += n
+		if n > 0 {
+			home = f
+		}
+	}
+	if total != 1 || home == nil {
+		t.Fatalf("verdict hit %d replicas, want exactly 1", total)
+	}
+	if got := *home.lastBody.Load(); !bytes.Equal(got, body) {
+		t.Fatalf("forwarded body %q != original %q", got, body)
+	}
+
+	// The same tenant's queue read lands on the same home replica with
+	// the query string intact.
+	qreq, err := http.NewRequest(http.MethodGet, ts.URL+"/feedback/queue?n=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qreq.Header.Set("X-Targad-Tenant", "acme")
+	qresp, err := ts.Client().Do(qreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /feedback/queue: status %d", qresp.StatusCode)
+	}
+	if home.queueHits.Load() != 1 {
+		t.Fatalf("queue read did not land on the tenant's home replica")
+	}
+	if q := home.lastQuery.Load(); q == nil || *q != "n=3" {
+		t.Fatalf("query string not forwarded: %v", q)
+	}
+
+	// Wrong methods are the router's own 405, never forwarded.
+	if resp, err := ts.Client().Get(ts.URL + "/feedback"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /feedback: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestFeedbackRetryPolicy: recording a verdict mutates replica state,
+// so a failed POST /feedback gets exactly one attempt and the analyst
+// sees the shed; the idempotent GET /feedback/queue is retried onto
+// other replicas.
+func TestFeedbackRetryPolicy(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b")}
+	for _, f := range replicas {
+		f.failFeedback.Store(true)
+		f.failQueue.Store(true)
+	}
+	_, ts := newFeedbackFleet(t, replicas)
+
+	resp, err := ts.Client().Post(ts.URL+"/feedback", "application/json",
+		bytes.NewReader([]byte(`{"features":[1],"verdict":"benign"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /feedback with every replica failing: status %d, want 503", resp.StatusCode)
+	}
+	if n := replicas[0].feedbackHits.Load() + replicas[1].feedbackHits.Load(); n != 1 {
+		t.Fatalf("non-idempotent POST was attempted %d times, want exactly 1", n)
+	}
+
+	qresp, err := ts.Client().Get(ts.URL + "/feedback/queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /feedback/queue with every replica failing: status %d, want 503", qresp.StatusCode)
+	}
+	if n := replicas[0].queueHits.Load() + replicas[1].queueHits.Load(); n < 2 {
+		t.Fatalf("idempotent GET was attempted %d times, want a retry on the second replica", n)
+	}
+}

@@ -258,6 +258,8 @@ func New(cfg Config) (*Router, error) {
 
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/score", r.handleScore)
+	r.mux.HandleFunc("/feedback", r.handleFeedback)
+	r.mux.HandleFunc("/feedback/queue", r.handleFeedbackQueue)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
 	r.mux.HandleFunc("/readyz", r.handleReadyz)
 	r.mux.HandleFunc("/metrics", r.handleMetrics)

@@ -60,6 +60,18 @@ func (a attempt) discard() {
 	}
 }
 
+// proxyOp names one forwarded operation: the backend method and path,
+// plus the retry policy it is allowed. Retries re-send the buffered
+// body, so they are reserved for idempotent operations (scoring is
+// stateless, GET /feedback/queue reads); a non-idempotent POST runs
+// exactly one attempt, no hedge.
+type proxyOp struct {
+	method     string
+	path       string
+	maxRetries int
+	hedge      bool
+}
+
 // handleScore proxies one scoring request across the fleet.
 func (r *Router) handleScore(w http.ResponseWriter, req *http.Request) {
 	binary := strings.HasPrefix(req.Header.Get("Content-Type"), wire.ContentType)
@@ -67,6 +79,44 @@ func (r *Router) handleScore(w http.ResponseWriter, req *http.Request) {
 		r.fail(w, binary, http.StatusMethodNotAllowed, "POST required", false)
 		return
 	}
+	r.proxy(w, req, binary, proxyOp{
+		method: http.MethodPost, path: "/score",
+		maxRetries: r.cfg.MaxRetries, hedge: true,
+	})
+}
+
+// handleFeedback forwards one analyst verdict to the tenant's home
+// replica. The body is opaque to the router (same pass-through
+// contract as scoring); recording a verdict mutates the replica's
+// store, so the request gets exactly one attempt — no retry, no
+// hedge — and the analyst re-submits on a shed (the store's
+// fingerprint dedup makes that safe).
+func (r *Router) handleFeedback(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.fail(w, false, http.StatusMethodNotAllowed, "POST required", false)
+		return
+	}
+	r.proxy(w, req, false, proxyOp{method: http.MethodPost, path: "/feedback"})
+}
+
+// handleFeedbackQueue forwards an acquisition-queue read to the
+// tenant's home replica — the replica scoring a tenant's traffic is
+// the one holding its informative rows. A read is idempotent, so the
+// full retry/hedge policy applies.
+func (r *Router) handleFeedbackQueue(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.fail(w, false, http.StatusMethodNotAllowed, "GET required", false)
+		return
+	}
+	r.proxy(w, req, false, proxyOp{
+		method: http.MethodGet, path: "/feedback/queue",
+		maxRetries: r.cfg.MaxRetries, hedge: true,
+	})
+}
+
+// proxy buffers the request once and walks the candidate order under
+// op's retry policy.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, binary bool, op proxyOp) {
 	start := time.Now()
 	r.metrics.requests.Add(1)
 	r.budget.observeRequest()
@@ -89,7 +139,7 @@ func (r *Router) handleScore(w http.ResponseWriter, req *http.Request) {
 	walk := candidateWalk{order: order}
 	var last attempt
 	haveLast := false
-	for tries := 0; tries <= r.cfg.MaxRetries; tries++ {
+	for tries := 0; tries <= op.maxRetries; tries++ {
 		if tries > 0 {
 			if !r.budget.allow() {
 				r.metrics.budgetExhausted.Add(1)
@@ -100,7 +150,7 @@ func (r *Router) handleScore(w http.ResponseWriter, req *http.Request) {
 				break // client gone mid-backoff
 			}
 		}
-		a, launched := r.attemptWithHedge(req, &walk, body)
+		a, launched := r.attemptWithHedge(req, &walk, body, op)
 		if !launched {
 			break // no selectable candidate remains
 		}
@@ -278,12 +328,12 @@ func (h *launchHandle) cancelByRouter() {
 // launch fires one forwarded copy of the request at b and reports its
 // outcome on ch. The returned handle cancels the try early — the hedge
 // path uses it to cancel the losing request.
-func (r *Router) launch(req *http.Request, b *Backend, trial bool, body []byte, ch chan<- attempt, idx int) *launchHandle {
+func (r *Router) launch(req *http.Request, b *Backend, trial bool, body []byte, op proxyOp, ch chan<- attempt, idx int) *launchHandle {
 	tryCtx, cancel := context.WithTimeout(req.Context(), r.cfg.TryTimeout)
 	h := &launchHandle{cancel: cancel}
 	go func() {
 		start := time.Now()
-		resp, err := r.forward(tryCtx, b, req, body)
+		resp, err := r.forward(tryCtx, b, req, body, op)
 		canceledByRouter := errors.Is(err, context.Canceled) && h.byRouter.Load()
 		if canceledByRouter {
 			// A hedge loser, not a backend fault: no circuit verdict,
@@ -305,12 +355,12 @@ func (r *Router) launch(req *http.Request, b *Backend, trial bool, body []byte, 
 }
 
 // forward performs one HTTP exchange with b, replaying the buffered
-// body.
-func (r *Router) forward(ctx context.Context, b *Backend, orig *http.Request, body []byte) (*http.Response, error) {
+// body (empty for GET operations).
+func (r *Router) forward(ctx context.Context, b *Backend, orig *http.Request, body []byte, op proxyOp) (*http.Response, error) {
 	u := *b.url
-	u.Path = strings.TrimSuffix(u.Path, "/") + "/score"
+	u.Path = strings.TrimSuffix(u.Path, "/") + op.path
 	u.RawQuery = orig.URL.RawQuery
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, op.method, u.String(), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -331,19 +381,20 @@ func (r *Router) forward(ctx context.Context, b *Backend, orig *http.Request, bo
 // attemptWithHedge runs one attempt, optionally racing a hedge against
 // it: once the primary outlives the tracked latency quantile, a second
 // copy goes to the next candidate, the first successful response wins,
-// and the loser's context is canceled. launched=false means no
+// and the loser's context is canceled. Hedging only arms for
+// operations whose policy allows it. launched=false means no
 // selectable candidate remained.
-func (r *Router) attemptWithHedge(req *http.Request, walk *candidateWalk, body []byte) (win attempt, launched bool) {
+func (r *Router) attemptWithHedge(req *http.Request, walk *candidateWalk, body []byte, op proxyOp) (win attempt, launched bool) {
 	b, trial := r.nextCandidate(walk, time.Now())
 	if b == nil {
 		return attempt{}, false
 	}
 	ch := make(chan attempt, 2)
-	launches := []*launchHandle{r.launch(req, b, trial, body, ch, 0)}
+	launches := []*launchHandle{r.launch(req, b, trial, body, op, ch, 0)}
 	outstanding := 1
 
 	var hedgeC <-chan time.Time
-	if d := r.hedgeDelay(); d > 0 {
+	if d := r.hedgeDelay(); op.hedge && d > 0 {
 		t := time.NewTimer(d)
 		defer t.Stop()
 		hedgeC = t.C
@@ -391,7 +442,7 @@ func (r *Router) attemptWithHedge(req *http.Request, walk *candidateWalk, body [
 				continue
 			}
 			r.metrics.hedges.Add(1)
-			launches = append(launches, r.launch(req, hb, htrial, body, ch, len(launches)))
+			launches = append(launches, r.launch(req, hb, htrial, body, op, ch, len(launches)))
 			outstanding++
 		}
 	}

@@ -358,6 +358,15 @@ type Accumulator struct {
 	next      int
 	perBucket int64
 	total     int64 // rows ever observed
+
+	// Alarm hook (SetAlarmHook): checked every hookEvery observed rows,
+	// single-flighted by hookBusy, and latched so one excursion into
+	// alarm fires exactly once.
+	hookFn       func(Snapshot)
+	hookEvery    int64
+	hookCount    int64
+	hookBusy     bool
+	alarmLatched bool
 }
 
 // NewAccumulator builds the window for one profile. The profile must
@@ -426,7 +435,11 @@ func (a *Accumulator) Observe(x *mat.Matrix, scores []float64, kinds []dataset.K
 			cur.reset()
 		}
 	}
+	check := a.hookTick(int64(x.Rows))
 	a.mu.Unlock()
+	if check {
+		go a.runAlarmHook()
+	}
 }
 
 // Observe32 is Observe for float32 feature rows — the binary wire
@@ -466,7 +479,69 @@ func (a *Accumulator) Observe32(x *mat.Matrix32, scores []float64, kinds []datas
 			cur.reset()
 		}
 	}
+	check := a.hookTick(int64(x.Rows))
 	a.mu.Unlock()
+	if check {
+		go a.runAlarmHook()
+	}
+}
+
+// SetAlarmHook registers fn to run (in its own goroutine) when the
+// window's status transitions into StatusAlarm. The status is checked
+// every `every` observed rows (<=0: once per ring bucket) — Snapshot
+// allocates, so the check must not ride every batch. The hook fires
+// once per excursion: after firing it re-arms only when the status has
+// fallen back to OK or Filling; a lingering Warn keeps it latched, so
+// a flapping window cannot retrigger mid-recovery. With no hook set
+// (or between checks) Observe's zero-allocation guarantee is intact.
+// Passing a nil fn removes the hook.
+func (a *Accumulator) SetAlarmHook(every int64, fn func(Snapshot)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if every <= 0 {
+		every = a.perBucket
+	}
+	a.hookFn = fn
+	a.hookEvery = every
+	a.hookCount = 0
+}
+
+// hookTick advances the check counter; called with a.mu held. It
+// reports whether a status check is due, claiming the single-flight
+// slot when so.
+func (a *Accumulator) hookTick(rows int64) bool {
+	if a.hookFn == nil || a.hookBusy {
+		return false
+	}
+	a.hookCount += rows
+	if a.hookCount < a.hookEvery {
+		return false
+	}
+	a.hookCount = 0
+	a.hookBusy = true
+	return true
+}
+
+// runAlarmHook performs one status check off the hot path.
+func (a *Accumulator) runAlarmHook() {
+	snap := a.Snapshot()
+	a.mu.Lock()
+	fn := a.hookFn
+	fire := false
+	switch snap.Status {
+	case StatusAlarm:
+		if !a.alarmLatched {
+			a.alarmLatched = true
+			fire = fn != nil
+		}
+	case StatusOK, StatusFilling:
+		a.alarmLatched = false
+	}
+	a.hookBusy = false
+	a.mu.Unlock()
+	if fire {
+		fn(snap)
+	}
 }
 
 // TotalRows returns how many rows the accumulator has ever observed.

@@ -350,5 +350,6 @@ func (s *Server) infer(lm *loadedModel, x *mat.Matrix, x32 *mat.Matrix32, batch 
 		}
 	}
 	s.maybeShadow(x, x32, res.Scores, kinds)
+	s.maybeAcquire(lm, x, x32, res.Scores, kinds)
 	return res, lm.version, nil
 }

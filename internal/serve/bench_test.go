@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"targad/internal/activelearn"
 	"targad/internal/core"
 	"targad/internal/wire"
 )
@@ -244,5 +245,61 @@ func benchServeScore(b *testing.B, model *core.Model, prec Precision) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+// BenchmarkServeScoreWithAcquisition is the closed-loop overhead gate:
+// the binary in-process workload with an acquisition queue armed but
+// (virtually) never sampling, proving the sampler's fast path — one
+// nil check plus a counter bump — adds zero allocations to the serving
+// path. The ci.sh gate holds it to the same <=9 allocs/op budget as
+// BenchmarkServeScoreBinary. Recorded to BENCH_PR9.json by
+// scripts/bench_baseline.sh.
+func BenchmarkServeScoreWithAcquisition(b *testing.B) {
+	frame, err := wire.AppendRequestF64(nil, testRows(4, 123), int(core.ED), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{
+		MaxBatch: 1,
+		Strategy: core.ED,
+		Acquire:  activelearn.New(activelearn.Config{Budget: 64}),
+		// Sampling cadence of one batch per 1e9: the counter never
+		// fires within a benchmark run, so the measured path is the
+		// non-sampled one every real batch takes between samples.
+		AcquireSample: 1e-9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SetModel(loadFixtureModel(b), "bench"); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+
+	body := &replayBody{data: frame}
+	req, err := http.NewRequest(http.MethodPost, "/score", body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.ContentLength = int64(len(frame))
+	w := &nullResponseWriter{h: make(http.Header)}
+	for i := 0; i < 16; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
 	}
 }

@@ -81,7 +81,7 @@ type driftResponse struct {
 
 	Features []driftFeature `json:"features,omitempty"`
 
-	Shadow *shadowReport `json:"shadow,omitempty"`
+	Shadow *ShadowReport `json:"shadow,omitempty"`
 }
 
 // handleDrift answers GET /drift with the current window's drift

@@ -42,8 +42,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"targad/internal/activelearn"
 	"targad/internal/core"
 	"targad/internal/faultinject"
+	"targad/internal/feedback"
 	"targad/internal/mat"
 	"targad/internal/monitor"
 	"targad/internal/wire"
@@ -117,6 +119,25 @@ type Config struct {
 	// not random.
 	ShadowSample float64
 
+	// Feedback, when set, mounts POST /feedback: analyst verdicts on
+	// served decisions land in this store (internal/feedback) and feed
+	// retraining.
+	Feedback *feedback.Store
+	// Acquire, when set, mounts GET /feedback/queue and samples served
+	// batches into this acquisition queue (internal/activelearn) — the
+	// rows whose labels would help the model most.
+	Acquire *activelearn.Queue
+	// AcquireSample is the fraction of live batches offered to the
+	// acquisition queue (default 0.25; clamped to (0, 1]). Deterministic
+	// counter sampling, like ShadowSample.
+	AcquireSample float64
+	// AutoRetrain arms the closed loop: a drift-window alarm triggers
+	// the registered retrain controller (SetRetrain) automatically.
+	AutoRetrain bool
+	// OnDriftAlarm, when set, runs (in its own goroutine) each time a
+	// served generation's drift window transitions into alarm.
+	OnDriftAlarm func(monitor.Snapshot)
+
 	// Logf, when set, receives one line per lifecycle event (load,
 	// reload, shutdown). Nil discards.
 	Logf func(format string, v ...any)
@@ -162,8 +183,15 @@ type Server struct {
 	retired *loadedModel
 
 	// shadow is the candidate model under evaluation (nil when none);
-	// see shadow.go.
-	shadow atomic.Pointer[shadowState]
+	// see shadow.go. shadowSeq numbers candidates so promote/discard
+	// can be pinned to the one that was measured.
+	shadow    atomic.Pointer[shadowState]
+	shadowSeq atomic.Int64
+
+	// acq is the acquisition sampler's counter state (feedback.go);
+	// retrain holds the registered RetrainController (SetRetrain).
+	acq     acquireSampler
+	retrain atomic.Pointer[retrainBox]
 }
 
 // New builds a Server from cfg, loading the initial model from
@@ -186,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ShadowSample <= 0 || cfg.ShadowSample > 1 {
 		cfg.ShadowSample = 0.25
+	}
+	if cfg.AcquireSample <= 0 || cfg.AcquireSample > 1 {
+		cfg.AcquireSample = 0.25
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -213,6 +244,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/drift", s.handleDrift)
 	s.mux.HandleFunc("/promote", s.handlePromote)
 	s.mux.HandleFunc("/discard", s.handleDiscard)
+	s.mux.HandleFunc("/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/feedback/queue", s.handleFeedbackQueue)
+	s.mux.HandleFunc("/retrain", s.handleRetrain)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -273,6 +307,7 @@ func (s *Server) install(m *core.Model, source string) int64 {
 		loadedAt: time.Now(),
 		mon:      s.newAccumulator(m),
 	}
+	s.armAlarmHook(next)
 	if s.cfg.Precision == F32 {
 		// The swap happens under lmMu so no batch can pin the outgoing
 		// generation after it lands in retired (see precision.go).
@@ -704,4 +739,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.metrics.write(w, len(s.queue), cap(s.queue), s.ModelVersion(), ready)
 	s.writeMonitorMetrics(w)
+	s.writeFeedbackMetrics(w)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"targad/internal/buildinfo"
 	"targad/internal/core"
 	"targad/internal/dataset"
 	"targad/internal/mat"
@@ -31,6 +32,12 @@ type shadowState struct {
 	model    *core.Model
 	source   string
 	loadedAt time.Time
+	// id distinguishes candidates across load/promote/discard cycles so
+	// an automated gate acts on the candidate it measured, never a
+	// replacement that raced in. baseVersion records the serving
+	// generation the comparison runs against.
+	id          int64
+	baseVersion int64
 
 	mu sync.Mutex
 	// acc implements deterministic fractional sampling: each batch adds
@@ -50,10 +57,16 @@ type shadowState struct {
 	flips    int64 // decided rows where the decision changed
 }
 
-// shadowReport is the JSON/metrics view of a shadow evaluation.
-type shadowReport struct {
-	Source   string    `json:"source"`
-	LoadedAt time.Time `json:"loaded_at"`
+// ShadowReport is the JSON/metrics view of a shadow evaluation. ID
+// names the candidate (monotonic per process); BaseModelVersion the
+// serving generation it is compared against; Build the server binary
+// that produced the comparison.
+type ShadowReport struct {
+	ID               int64     `json:"id"`
+	Source           string    `json:"source"`
+	LoadedAt         time.Time `json:"loaded_at"`
+	BaseModelVersion int64     `json:"base_model_version"`
+	Build            string    `json:"build"`
 
 	Batches int64 `json:"batches"`
 	Rows    int64 `json:"rows"`
@@ -91,59 +104,132 @@ func (s *Server) ShadowLoad() (string, error) {
 			return "", fmt.Errorf("serve: shadow load: enable float32: %w", err)
 		}
 	}
-	s.shadow.Store(&shadowState{model: m, source: s.cfg.ModelPath, loadedAt: time.Now()})
-	s.cfg.Logf("serve: shadow model loaded from %s (sample %.2f)", s.cfg.ModelPath, s.cfg.ShadowSample)
+	s.installShadow(m, s.cfg.ModelPath)
 	return s.cfg.ModelPath, nil
+}
+
+// ShadowModel starts shadow evaluation of an in-memory candidate —
+// the retrain orchestrator's entry point, which has just fitted m and
+// has no reason to round-trip it through a file. Returns the candidate
+// id PromoteShadow/DiscardShadow act on. Replaces any previous
+// candidate (its stats are dropped). The serving model is untouched.
+func (s *Server) ShadowModel(m *core.Model, source string) (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if m == nil {
+		return 0, errors.New("serve: nil shadow model")
+	}
+	if s.cfg.Precision == F32 {
+		if err := m.EnableF32(nil); err != nil {
+			return 0, fmt.Errorf("serve: shadow model: enable float32: %w", err)
+		}
+	}
+	sh := s.installShadow(m, source)
+	return sh.id, nil
+}
+
+// installShadow stores a fresh candidate; callers hold reloadMu and
+// have applied precision conversion.
+func (s *Server) installShadow(m *core.Model, source string) *shadowState {
+	sh := &shadowState{
+		model:       m,
+		source:      source,
+		loadedAt:    time.Now(),
+		id:          s.shadowSeq.Add(1),
+		baseVersion: s.ModelVersion(),
+	}
+	s.shadow.Store(sh)
+	s.cfg.Logf("serve: shadow candidate %d loaded from %s (sample %.2f)", sh.id, source, s.cfg.ShadowSample)
+	return sh
 }
 
 // Promote installs the shadow model as the next serving generation and
 // ends the evaluation. Because the promoted generation is the same
 // model object the shadow scored with, traffic after promotion gets
 // bitwise-identical scores to the shadow's.
-func (s *Server) Promote() (int64, error) {
+func (s *Server) Promote() (int64, error) { return s.PromoteShadow(0) }
+
+// PromoteShadow is Promote pinned to a candidate id (0 = whichever is
+// loaded): if a different candidate replaced the one the caller
+// evaluated, the promotion fails instead of shipping unmeasured code.
+func (s *Server) PromoteShadow(id int64) (int64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	sh := s.shadow.Load()
 	if sh == nil {
 		return 0, errNoShadow
 	}
+	if id != 0 && sh.id != id {
+		return 0, fmt.Errorf("serve: shadow candidate %d superseded by %d", id, sh.id)
+	}
 	v := s.install(sh.model, sh.source)
 	s.shadow.Store(nil)
 	s.metrics.reloads.Add(1)
-	s.cfg.Logf("serve: shadow model promoted to v%d", v)
+	s.cfg.Logf("serve: shadow candidate %d promoted to v%d", sh.id, v)
 	return v, nil
 }
 
 // Discard drops the shadow model and its stats.
-func (s *Server) Discard() error {
+func (s *Server) Discard() error { return s.DiscardShadow(0) }
+
+// DiscardShadow is Discard pinned to a candidate id (0 = whichever is
+// loaded).
+func (s *Server) DiscardShadow(id int64) error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	if s.shadow.Load() == nil {
+	sh := s.shadow.Load()
+	if sh == nil {
 		return errNoShadow
 	}
+	if id != 0 && sh.id != id {
+		return fmt.Errorf("serve: shadow candidate %d superseded by %d", id, sh.id)
+	}
 	s.shadow.Store(nil)
-	s.cfg.Logf("serve: shadow model discarded")
+	s.cfg.Logf("serve: shadow candidate %d discarded", sh.id)
 	return nil
+}
+
+// CurrentModel returns the served model object (nil when none): the
+// warm-start source for retraining. The model is immutable while
+// served; callers must not mutate it.
+func (s *Server) CurrentModel() *core.Model {
+	if lm := s.cur.Load(); lm != nil {
+		return lm.model
+	}
+	return nil
+}
+
+// ShadowStats returns the active candidate's running comparison, false
+// when no candidate is loaded.
+func (s *Server) ShadowStats() (ShadowReport, bool) {
+	r := s.shadowSnapshot()
+	if r == nil {
+		return ShadowReport{}, false
+	}
+	return *r, true
 }
 
 // shadowSnapshot copies the running stats, or nil when no shadow is
 // active.
-func (s *Server) shadowSnapshot() *shadowReport {
+func (s *Server) shadowSnapshot() *ShadowReport {
 	sh := s.shadow.Load()
 	if sh == nil {
 		return nil
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	r := &shadowReport{
-		Source:      sh.source,
-		LoadedAt:    sh.loadedAt,
-		Batches:     sh.batches,
-		Rows:        sh.rows,
-		Errors:      sh.errs,
-		MaxAbsDelta: sh.maxAbs,
-		DecidedRows: sh.decided,
-		Flips:       sh.flips,
+	r := &ShadowReport{
+		ID:               sh.id,
+		Source:           sh.source,
+		LoadedAt:         sh.loadedAt,
+		BaseModelVersion: sh.baseVersion,
+		Build:            buildinfo.Version(),
+		Batches:          sh.batches,
+		Rows:             sh.rows,
+		Errors:           sh.errs,
+		MaxAbsDelta:      sh.maxAbs,
+		DecidedRows:      sh.decided,
+		Flips:            sh.flips,
 	}
 	if sh.rows > 0 {
 		r.MeanDelta = sh.deltaSum / float64(sh.rows)

@@ -12,15 +12,18 @@
 # trajectory tracks the zero-allocation contracts alongside raw speed.
 # PR8 adds RouterScore: the same HTTP scoring workload direct to one
 # replica vs through targad-router (JSON and binary), so the routed-
-# path overhead is one division away.
+# path overhead is one division away. PR9 adds
+# ServeScoreWithAcquisition: the in-process binary workload with an
+# active-learning acquisition queue armed but not sampling, pinning
+# the closed loop's serving-path overhead at zero extra allocations.
 #
 # Usage:
-#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR8.json
+#   scripts/bench_baseline.sh [out.json]          # default BENCH_PR9.json
 #   CPUS=8 BENCHTIME=2s scripts/bench_baseline.sh # override sweep knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 cpus="${CPUS:-$(nproc)}"
 benchtime="${BENCHTIME:-}"
 
@@ -40,7 +43,7 @@ fi
 # are not swept over -cpu; they run once at the machine's GOMAXPROCS.
 # The prefix pattern matches ServeScore, ServeScoreF32,
 # ServeScoreMonitored, ServeScoreBinary (f64/f32 frames, in-process),
-# and ServeScoreBinaryHTTP.
+# ServeScoreBinaryHTTP, and ServeScoreWithAcquisition.
 serve_args=(test -run '^$' -bench 'BenchmarkServeScore'
     -benchmem -timeout 30m ./internal/serve)
 if [ -n "$benchtime" ]; then
@@ -89,8 +92,8 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 8,\n"
-    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed; ServeScoreBinary: zero-copy binary frames in-process at f64/f32 plus the over-HTTP twin; RouterScore: direct-vs-routed HTTP scoring through targad-router, JSON and binary)\",\n"
+    printf "  \"pr\": 9,\n"
+    printf "  \"description\": \"worker-pool benchmarks with f64-vs-f32 inference rows (TargADScore vs TargADScoreF32) plus online serving at both precisions (ServeScore/ServeScoreF32: HTTP end-to-end, 1 vs N clients, micro-batching off/on; ServeScoreMonitored: f64 with the drift accumulator armed; ServeScoreBinary: zero-copy binary frames in-process at f64/f32 plus the over-HTTP twin; RouterScore: direct-vs-routed HTTP scoring through targad-router, JSON and binary; ServeScoreWithAcquisition: the binary in-process workload with the acquisition sampler armed, zero extra allocs)\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu_sweep\": [%s],\n", cpulist

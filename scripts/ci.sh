@@ -54,7 +54,8 @@ go test -tags noasm -count=1 -run 'TestServeF32' ./internal/serve
 echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn \
-    ./internal/serve ./internal/monitor ./internal/fleet
+    ./internal/serve ./internal/monitor ./internal/fleet \
+    ./internal/feedback ./internal/activelearn ./internal/retrain
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
@@ -76,6 +77,13 @@ go test -count=1 -run 'TestFinite|TestDiverged|TestNonFiniteParam|TestNumericalE
     ./internal/nn
 go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|TestDriftLifecycle|TestBinaryFrameFaults|TestJSONBodyLimit413|TestCanceledJobsDroppedBeforeDispatch|TestGracefulDrainMixedLoad' \
     ./internal/serve
+# Closed-loop acceptance: the feedback store's truncate-at-every-byte
+# crash recovery, and the end-to-end lifecycle — verdicts over POST
+# /feedback, injected drift traffic alarming the window, automatic
+# retrain on the merged verdicts, shadow evaluation, gated
+# auto-promote (plus the gate-failure path keeping the old model).
+go test -count=1 -run 'TestCrashRecoveryEveryPrefix|TestFeedbackLifecycle|TestRetrainGateFailureKeepsServing' \
+    ./internal/feedback ./internal/retrain
 
 # Fleet chaos suite: targeted network probes (fleet/backend-latency,
 # -5xx, -drop, -flap) kill, stall, and flap replicas behind the router
@@ -113,8 +121,10 @@ go test -run '^$' -bench 'BenchmarkMonitorObserve' \
 # The binary serving path budget (<=9 allocs/op, measured in-process so
 # net/http client overhead stays out of the number) is the PR7
 # zero-copy acceptance gate; the HTTP-suffixed variant is deliberately
-# outside the pattern.
-go test -run '^$' -bench 'BenchmarkServeScoreBinary/' \
+# outside the pattern. The WithAcquisition twin (PR9) holds the same
+# budget with an acquisition queue armed: the sampler's non-sampled
+# path must add zero allocations.
+go test -run '^$' -bench 'BenchmarkServeScoreBinary/|BenchmarkServeScoreWithAcquisition' \
     -benchmem -cpu 1 ./internal/serve | tee -a /tmp/targad_alloc_smoke.txt
 awk '
 /^Benchmark/ {
@@ -125,6 +135,7 @@ awk '
     if (name ~ /MatMul/)             budget = 10
     if (name ~ /MonitorObserve/)     budget = 0
     if (name ~ /ServeScoreBinary\//) budget = 9
+    if (name ~ /ServeScoreWithAcquisition/) budget = 9
     if (budget >= 0 && allocs + 0 > budget) {
         printf "ALLOC REGRESSION: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget
         bad = 1
