@@ -55,7 +55,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -75,13 +74,16 @@ import (
 	"targad/internal/mat"
 	"targad/internal/monitor"
 	"targad/internal/parallel"
+	"targad/internal/registry"
 	"targad/internal/retrain"
 	"targad/internal/serve"
 )
 
 func main() {
 	var (
-		modelPath   = flag.String("model", "", "saved model file to serve (required)")
+		modelPath   = flag.String("model", "", "saved model file to serve (required unless -model-dir)")
+		modelDir    = flag.String("model-dir", "", "multi-model registry directory holding manifest.json; serves every manifested model from one process (mutually exclusive with -model)")
+		maxHot      = flag.Int("max-hot-models", 4, "registry mode: models kept loaded at once; past it the least-recently-used is evicted")
 		addr        = flag.String("addr", ":8080", "listen address")
 		maxBatch    = flag.Int("max-batch", 64, "max rows per inference micro-batch (1 disables batching)")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait for an incomplete batch to fill")
@@ -102,7 +104,8 @@ func main() {
 		instanceID    = flag.String("instance-id", "", "identity stamped on /healthz and /readyz for fleet probers (default host-pid-starttime)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 
-		feedbackDir   = flag.String("feedback-dir", "", "analyst verdict store directory; mounts POST /feedback (empty disables)")
+		feedbackDir   = flag.String("feedback-dir", "", "analyst verdict store directory; mounts POST /feedback (empty disables; registry mode: per-model stores under it)")
+		feedbackTTL   = flag.Duration("feedback-ttl", 0, "drop verdicts older than this from retraining (0 keeps forever)")
 		acquireBudget = flag.Int("acquire-budget", 0, "active-learning queue capacity; mounts GET /feedback/queue (0 disables)")
 		acquireSample = flag.Float64("acquire-sample", 0.25, "fraction of live batches offered to the acquisition queue")
 
@@ -125,8 +128,8 @@ func main() {
 		fmt.Printf("targad-serve %s\n", buildinfo.Version())
 		return
 	}
-	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "targad-serve: -model is required")
+	if (*modelPath == "") == (*modelDir == "") {
+		fmt.Fprintln(os.Stderr, "targad-serve: exactly one of -model or -model-dir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,103 +147,169 @@ func main() {
 		parallel.SetWorkers(*workers)
 	}
 
-	var store *feedback.Store
-	if *feedbackDir != "" {
-		var err error
-		store, err = feedback.Open(*feedbackDir, feedback.Config{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "targad-serve: opening feedback store: %v\n", err)
-			os.Exit(1)
-		}
-		defer store.Close()
-	}
-	var queue *activelearn.Queue
-	if *acquireBudget > 0 {
-		qc := activelearn.Config{Budget: *acquireBudget}
-		if store != nil {
-			qc.Labeled = store.Has
-		}
-		queue = activelearn.New(qc)
-	}
+	fitCfg := core.DefaultConfig()
+	fitCfg.K = *retrainK
+	fitCfg.AEEpochs = *retrainEpochs
+	fitCfg.ClfEpochs = *retrainEpochs
+	fitCfg.AELR = *retrainLR
+	fitCfg.ClfLR = *retrainLR
 
-	s, err := serve.New(serve.Config{
-		ModelPath:    *modelPath,
-		MaxBatch:     *maxBatch,
-		MaxWait:      *maxWait,
-		QueueDepth:   *queueDepth,
-		RetryAfter:   *retryAfter,
-		MaxBodyBytes: *maxReqBytes,
-		Strategy:     strat,
-		Precision:    prec,
-		EnablePprof:  *enablePprof,
-		InstanceID:   *instanceID,
-		Monitor: monitor.Config{
-			WindowRows: *monitorWindow,
-			WarnPSI:    *driftWarn,
-			AlarmPSI:   *driftAlarm,
-		},
-		DisableMonitor: *noMonitor,
-		DriftDegrade:   *driftDegrade,
-		ShadowSample:   *shadowSample,
-		Feedback:       store,
-		Acquire:        queue,
-		AcquireSample:  *acquireSample,
-		AutoRetrain:    *autoRetrain,
-		Logf:           log.Printf,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
-		os.Exit(1)
-	}
-
-	var orch *retrain.Orchestrator
-	if *autoRetrain || *retrainLabeled != "" || *retrainUnlabeled != "" {
-		switch {
-		case store == nil:
-			fmt.Fprintln(os.Stderr, "targad-serve: retraining needs -feedback-dir (verdicts are the retraining signal)")
-			os.Exit(2)
-		case *retrainLabeled == "" || *retrainUnlabeled == "":
-			fmt.Fprintln(os.Stderr, "targad-serve: retraining needs both -retrain-labeled and -retrain-unlabeled (the base training set verdicts merge into)")
-			os.Exit(2)
-		}
-		fitCfg := core.DefaultConfig()
-		fitCfg.K = *retrainK
-		fitCfg.AEEpochs = *retrainEpochs
-		fitCfg.ClfEpochs = *retrainEpochs
-		fitCfg.AELR = *retrainLR
-		fitCfg.ClfLR = *retrainLR
-		labeledPath, unlabeledPath, header := *retrainLabeled, *retrainUnlabeled, *retrainHeader
-		orch, err = retrain.New(s, retrain.Config{
-			Store:         store,
-			Train:         func() (*dataset.TrainSet, error) { return loadTrainSet(labeledPath, unlabeledPath, header) },
-			Fit:           fitCfg,
-			Seed:          *retrainSeed,
-			MaxFlipRate:   *retrainMaxFlip,
-			MaxScoreDelta: *retrainMaxDelta,
-			MinShadowRows: *retrainMinRows,
-			SavePath:      *modelPath, // a restart serves the promoted model
-			Logf:          log.Printf,
+	var (
+		httpHandler http.Handler
+		reload      func() error
+		closeAll    func()
+		serving     string
+	)
+	if *modelDir != "" {
+		// Registry mode: one process hosts every manifested model,
+		// routed by the X-Targad-Model / X-Targad-Tenant headers, with
+		// at most -max-hot-models loaded at once. Each model gets its
+		// own feedback store (under -feedback-dir) and, when its spec
+		// names retraining CSVs, its own retrain cycle — all cycles
+		// share one fit slot so drift alarms never fork parallel fits.
+		reg, err := registry.New(registry.Config{
+			Dir:    *modelDir,
+			MaxHot: *maxHot,
+			Base: serve.Config{
+				MaxBatch:     *maxBatch,
+				MaxWait:      *maxWait,
+				QueueDepth:   *queueDepth,
+				RetryAfter:   *retryAfter,
+				MaxBodyBytes: *maxReqBytes,
+				Strategy:     strat,
+				Precision:    prec,
+				EnablePprof:  *enablePprof,
+				InstanceID:   *instanceID,
+				Monitor: monitor.Config{
+					WindowRows: *monitorWindow,
+					WarnPSI:    *driftWarn,
+					AlarmPSI:   *driftAlarm,
+				},
+				DisableMonitor: *noMonitor,
+				DriftDegrade:   *driftDegrade,
+				ShadowSample:   *shadowSample,
+				AcquireSample:  *acquireSample,
+				AutoRetrain:    *autoRetrain,
+			},
+			FeedbackRoot:  *feedbackDir,
+			AcquireBudget: *acquireBudget,
+			FeedbackTTL:   *feedbackTTL,
+			Retrain: &retrain.Config{
+				Fit:           fitCfg,
+				Seed:          *retrainSeed,
+				MaxFlipRate:   *retrainMaxFlip,
+				MaxScoreDelta: *retrainMaxDelta,
+				MinShadowRows: *retrainMinRows,
+				Logf:          log.Printf,
+			},
+			Logf: log.Printf,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
 			os.Exit(1)
 		}
-		defer orch.Close()
-		s.SetRetrain(orch)
+		httpHandler = reg.Handler()
+		reload = reg.ReloadHot
+		closeAll = reg.Close
+		serving = *modelDir + " (registry, default " + reg.DefaultModel() + ")"
+	} else {
+		var store *feedback.Store
+		if *feedbackDir != "" {
+			var err error
+			store, err = feedback.Open(*feedbackDir, feedback.Config{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "targad-serve: opening feedback store: %v\n", err)
+				os.Exit(1)
+			}
+			defer store.Close()
+		}
+		var queue *activelearn.Queue
+		if *acquireBudget > 0 {
+			qc := activelearn.Config{Budget: *acquireBudget}
+			if store != nil {
+				qc.Labeled = store.Has
+			}
+			queue = activelearn.New(qc)
+		}
+
+		s, err := serve.New(serve.Config{
+			ModelPath:    *modelPath,
+			MaxBatch:     *maxBatch,
+			MaxWait:      *maxWait,
+			QueueDepth:   *queueDepth,
+			RetryAfter:   *retryAfter,
+			MaxBodyBytes: *maxReqBytes,
+			Strategy:     strat,
+			Precision:    prec,
+			EnablePprof:  *enablePprof,
+			InstanceID:   *instanceID,
+			Monitor: monitor.Config{
+				WindowRows: *monitorWindow,
+				WarnPSI:    *driftWarn,
+				AlarmPSI:   *driftAlarm,
+			},
+			DisableMonitor: *noMonitor,
+			DriftDegrade:   *driftDegrade,
+			ShadowSample:   *shadowSample,
+			Feedback:       store,
+			Acquire:        queue,
+			AcquireSample:  *acquireSample,
+			AutoRetrain:    *autoRetrain,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
+			os.Exit(1)
+		}
+
+		var orch *retrain.Orchestrator
+		if *autoRetrain || *retrainLabeled != "" || *retrainUnlabeled != "" {
+			switch {
+			case store == nil:
+				fmt.Fprintln(os.Stderr, "targad-serve: retraining needs -feedback-dir (verdicts are the retraining signal)")
+				os.Exit(2)
+			case *retrainLabeled == "" || *retrainUnlabeled == "":
+				fmt.Fprintln(os.Stderr, "targad-serve: retraining needs both -retrain-labeled and -retrain-unlabeled (the base training set verdicts merge into)")
+				os.Exit(2)
+			}
+			labeledPath, unlabeledPath, header := *retrainLabeled, *retrainUnlabeled, *retrainHeader
+			orch, err = retrain.New(s, retrain.Config{
+				Store:         store,
+				Train:         func() (*dataset.TrainSet, error) { return dataset.LoadTrainCSVs(labeledPath, unlabeledPath, header) },
+				Fit:           fitCfg,
+				Seed:          *retrainSeed,
+				FeedbackTTL:   *feedbackTTL,
+				MaxFlipRate:   *retrainMaxFlip,
+				MaxScoreDelta: *retrainMaxDelta,
+				MinShadowRows: *retrainMinRows,
+				SavePath:      *modelPath, // a restart serves the promoted model
+				Logf:          log.Printf,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
+				os.Exit(1)
+			}
+			defer orch.Close()
+			s.SetRetrain(orch)
+		}
+		httpHandler = s.Handler()
+		reload = func() error { _, err := s.Reload(); return err }
+		closeAll = s.Close
+		serving = *modelPath
 	}
 
 	// The hardened listener: header/read/write/idle timeouts close the
 	// slowloris window a bare http.Server leaves open (flag-tunable;
 	// targad-router builds its listener the same way).
-	httpSrv := serve.NewHTTPServer(*addr, s.Handler(), timeouts)
+	httpSrv := serve.NewHTTPServer(*addr, httpHandler, timeouts)
 
-	// SIGHUP hot-reloads the model file; ^C/SIGTERM shut down
+	// SIGHUP hot-reloads the model file(s); ^C/SIGTERM shut down
 	// gracefully, draining in-flight requests before exit.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if _, err := s.Reload(); err != nil {
+			if err := reload(); err != nil {
 				log.Printf("targad-serve: SIGHUP reload failed, keeping current model: %v", err)
 			}
 		}
@@ -252,7 +321,7 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("targad-serve %s: serving %s on %s (batch<=%d wait=%s queue=%d strategy=%s precision=%s kernel=%s)",
-		buildinfo.Version(), *modelPath, *addr, *maxBatch, *maxWait, *queueDepth, strat, prec, mat.KernelName())
+		buildinfo.Version(), serving, *addr, *maxBatch, *maxWait, *queueDepth, strat, prec, mat.KernelName())
 
 	select {
 	case <-ctx.Done():
@@ -262,64 +331,12 @@ func main() {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("targad-serve: shutdown: %v", err)
 		}
-		s.Close()
+		closeAll()
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.Close()
+			closeAll()
 			fmt.Fprintf(os.Stderr, "targad-serve: %v\n", err)
 			os.Exit(1)
 		}
 	}
-}
-
-// loadTrainSet reads the retraining base set in the targad CLI's CSV
-// layout: labeled rows carry the target-type index in column 0,
-// unlabeled rows are features only. Called once per retrain cycle, so
-// an operator can update the CSVs between cycles without a restart.
-func loadTrainSet(labeledPath, unlabeledPath string, header bool) (*dataset.TrainSet, error) {
-	labeledRaw, err := loadCSVFile(labeledPath, header)
-	if err != nil {
-		return nil, err
-	}
-	unlabeled, err := loadCSVFile(unlabeledPath, header)
-	if err != nil {
-		return nil, err
-	}
-	if labeledRaw.Cols < 2 {
-		return nil, fmt.Errorf("%s: labeled rows need a type column plus at least one feature", labeledPath)
-	}
-	labeled := mat.New(labeledRaw.Rows, labeledRaw.Cols-1)
-	types := make([]int, labeledRaw.Rows)
-	maxType := 0
-	for i := 0; i < labeledRaw.Rows; i++ {
-		row := labeledRaw.Row(i)
-		t := int(row[0])
-		if t < 0 {
-			return nil, fmt.Errorf("%s: labeled row %d has negative type %v", labeledPath, i, row[0])
-		}
-		types[i] = t
-		if t > maxType {
-			maxType = t
-		}
-		copy(labeled.Row(i), row[1:])
-	}
-	return &dataset.TrainSet{
-		Labeled:        labeled,
-		LabeledType:    types,
-		NumTargetTypes: maxType + 1,
-		Unlabeled:      unlabeled,
-	}, nil
-}
-
-func loadCSVFile(path string, header bool) (*mat.Matrix, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, _, err := dataset.LoadCSV(bufio.NewReader(f), header)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return m, nil
 }

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"targad/internal/mat"
+)
+
+// LoadTrainCSVs reads a retraining base set in the targad CLI's CSV
+// layout: labeled rows carry the target-type index in column 0,
+// unlabeled rows are features only. Retrain orchestrators call it once
+// per cycle, so an operator can update the CSVs between cycles without
+// a restart.
+func LoadTrainCSVs(labeledPath, unlabeledPath string, header bool) (*TrainSet, error) {
+	labeledRaw, err := loadCSVFile(labeledPath, header)
+	if err != nil {
+		return nil, err
+	}
+	unlabeled, err := loadCSVFile(unlabeledPath, header)
+	if err != nil {
+		return nil, err
+	}
+	if labeledRaw.Cols < 2 {
+		return nil, fmt.Errorf("%s: labeled rows need a type column plus at least one feature", labeledPath)
+	}
+	labeled := mat.New(labeledRaw.Rows, labeledRaw.Cols-1)
+	types := make([]int, labeledRaw.Rows)
+	maxType := 0
+	for i := 0; i < labeledRaw.Rows; i++ {
+		row := labeledRaw.Row(i)
+		t := int(row[0])
+		if t < 0 {
+			return nil, fmt.Errorf("%s: labeled row %d has negative type %v", labeledPath, i, row[0])
+		}
+		types[i] = t
+		if t > maxType {
+			maxType = t
+		}
+		copy(labeled.Row(i), row[1:])
+	}
+	return &TrainSet{
+		Labeled:        labeled,
+		LabeledType:    types,
+		NumTargetTypes: maxType + 1,
+		Unlabeled:      unlabeled,
+	}, nil
+}
+
+func loadCSVFile(path string, header bool) (*mat.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, _, err := LoadCSV(bufio.NewReader(f), header)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

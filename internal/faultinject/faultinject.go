@@ -58,6 +58,12 @@ const (
 	// the monitoring suite uses it to push the live windows away from
 	// the model's reference profile deterministically.
 	ServeDriftTraffic = "serve/drift-traffic"
+	// RegistryLoadFail fails a cold-model load in the model registry
+	// (internal/registry) before any entry state is built, modeling a
+	// corrupt or unreadable manifest model; the registry must answer the
+	// triggering request with an error, cache nothing, and load cleanly
+	// on the next request.
+	RegistryLoadFail = "registry/load-fail"
 
 	// Network-layer fleet probes (internal/fleet). Each is targeted:
 	// armed with ArmTarget/ArmTargetDelay against one backend ordinal,

@@ -411,6 +411,47 @@ func (s *Store) Snapshot() []Record {
 	return append([]Record(nil), s.recs...)
 }
 
+// SnapshotWithTTL is Snapshot restricted to verdicts whose ReceivedAt
+// is no older than ttl before now: stale verdicts decay out of
+// retraining merges without being erased from the log (a later Open
+// still replays them, and a re-label refreshes the row's ReceivedAt).
+// ttl <= 0 disables expiry. The filter is deterministic in (now, ttl)
+// and order-stable — surviving records keep their first-seen order —
+// so a TTL'd merge is exactly as reproducible as a full one.
+func (s *Store) SnapshotWithTTL(now time.Time, ttl time.Duration) []Record {
+	if ttl <= 0 {
+		return s.Snapshot()
+	}
+	cutoff := now.Add(-ttl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		if !rec.ReceivedAt.Before(cutoff) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// LenWithTTL counts the distinct labeled rows SnapshotWithTTL would
+// return, without copying them — the retrain trigger's cheap gate.
+func (s *Store) LenWithTTL(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return s.Len()
+	}
+	cutoff := now.Add(-ttl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range s.recs {
+		if !rec.ReceivedAt.Before(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
 // Len returns the number of distinct labeled rows.
 func (s *Store) Len() int {
 	s.mu.Lock()

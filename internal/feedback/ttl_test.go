@@ -1,0 +1,112 @@
+package feedback
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotWithTTLExpiry checks that verdicts older than the TTL
+// decay out of snapshots deterministically while survivors keep their
+// first-seen order, and that LenWithTTL agrees with the snapshot.
+func TestSnapshotWithTTLExpiry(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{})
+	defer s.Close()
+	// testRecord(i, ...) stamps ReceivedAt at epoch 1700000000+i, so
+	// record i is exactly i seconds newer than record 0.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(testRecord(i, VerdictTarget)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// Place "now" 4.5s after the newest record, so record i is
+	// (13.5 - i) seconds old and each TTL below cuts at a known index.
+	now := time.Unix(1700000009, 123).Add(4500 * time.Millisecond).UTC()
+
+	for _, tc := range []struct {
+		name      string
+		ttl       time.Duration
+		wantFirst int // index of the oldest surviving record
+	}{
+		{"keeps-recent", 10 * time.Second, 4},              // age of rec 4 = 9.5s < 10s
+		{"drops-stale", 5 * time.Second, 9},                // only rec 9 (age 4.5s) survives
+		{"boundary-inclusive", 4500 * time.Millisecond, 9}, // age == ttl survives
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := s.SnapshotWithTTL(now, tc.ttl)
+			wantLen := 10 - tc.wantFirst
+			if len(got) != wantLen {
+				t.Fatalf("SnapshotWithTTL(ttl=%v) returned %d records, want %d", tc.ttl, len(got), wantLen)
+			}
+			for j, rec := range got {
+				want := testRecord(tc.wantFirst+j, VerdictTarget)
+				if !rec.ReceivedAt.Equal(want.ReceivedAt) || rec.ModelVersion != want.ModelVersion {
+					t.Fatalf("record %d = v%d@%v, want v%d@%v (order must be first-seen stable)",
+						j, rec.ModelVersion, rec.ReceivedAt, want.ModelVersion, want.ReceivedAt)
+				}
+			}
+			if n := s.LenWithTTL(now, tc.ttl); n != wantLen {
+				t.Fatalf("LenWithTTL = %d, want %d", n, wantLen)
+			}
+			// Determinism: the same (now, ttl) yields the same answer.
+			again := s.SnapshotWithTTL(now, tc.ttl)
+			if len(again) != len(got) {
+				t.Fatalf("repeat SnapshotWithTTL returned %d records, want %d", len(again), len(got))
+			}
+		})
+	}
+}
+
+// TestSnapshotWithTTLDisabled checks that ttl <= 0 is a passthrough to
+// the unfiltered snapshot.
+func TestSnapshotWithTTLDisabled(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{})
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := s.Append(testRecord(i, VerdictBenign)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// "now" is far in the future of every record; a positive TTL would
+	// drop them all, but zero and negative must keep everything.
+	now := time.Unix(1800000000, 0).UTC()
+	for _, ttl := range []time.Duration{0, -time.Hour} {
+		if got := s.SnapshotWithTTL(now, ttl); len(got) != 6 {
+			t.Fatalf("SnapshotWithTTL(ttl=%v) returned %d records, want all 6", ttl, len(got))
+		}
+		if n := s.LenWithTTL(now, ttl); n != 6 {
+			t.Fatalf("LenWithTTL(ttl=%v) = %d, want 6", ttl, n)
+		}
+	}
+	if got := s.SnapshotWithTTL(now, time.Second); len(got) != 0 {
+		t.Fatalf("SnapshotWithTTL(1s) returned %d records, want 0 (all stale)", len(got))
+	}
+}
+
+// TestSnapshotWithTTLRelabelRefreshes checks that re-labeling a row
+// refreshes its ReceivedAt, rescuing it from expiry: decay applies to
+// the latest verdict for a row, not its first sighting.
+func TestSnapshotWithTTLRelabelRefreshes(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{})
+	defer s.Close()
+	old := testRecord(0, VerdictTarget)
+	if _, err := s.Append(old); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fresh := testRecord(0, VerdictBenign)
+	fresh.ReceivedAt = old.ReceivedAt.Add(time.Hour)
+	added, err := s.Append(fresh)
+	if err != nil {
+		t.Fatalf("re-label Append: %v", err)
+	}
+	if added {
+		t.Fatal("re-label reported as a fresh row")
+	}
+	now := fresh.ReceivedAt.Add(time.Minute)
+	got := s.SnapshotWithTTL(now, 30*time.Minute)
+	if len(got) != 1 {
+		t.Fatalf("SnapshotWithTTL returned %d records, want 1 (re-label refreshed the clock)", len(got))
+	}
+	if got[0].Verdict != VerdictBenign || !got[0].ReceivedAt.Equal(fresh.ReceivedAt) {
+		t.Fatalf("surviving record = %+v, want the refreshed re-label", got[0])
+	}
+}

@@ -62,6 +62,7 @@ type Backend struct {
 	failRun  int          // consecutive probe failures (prober-only)
 	okRun    int          // consecutive probe successes (prober-only)
 	instance atomic.Pointer[string]
+	models   atomic.Pointer[string] // comma-separated X-Targad-Models stamp
 
 	inflight atomic.Int64 // proxied requests currently outstanding
 
@@ -86,6 +87,19 @@ func (b *Backend) Instance() string {
 	}
 	return ""
 }
+
+// Models returns the backend's last X-Targad-Models stamp — the
+// comma-separated hot-model list a multi-model replica advertises on
+// its health endpoints — or "" for single-model replicas.
+func (b *Backend) Models() string {
+	if p := b.models.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// setModels records the hot-model stamp from a successful probe.
+func (b *Backend) setModels(models string) { b.models.Store(&models) }
 
 func (b *Backend) setState(s BackendState, logf func(string, ...any)) {
 	old := BackendState(b.state.Swap(int32(s)))

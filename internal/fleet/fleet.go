@@ -260,6 +260,9 @@ func New(cfg Config) (*Router, error) {
 	r.mux.HandleFunc("/score", r.handleScore)
 	r.mux.HandleFunc("/feedback", r.handleFeedback)
 	r.mux.HandleFunc("/feedback/queue", r.handleFeedbackQueue)
+	r.mux.HandleFunc("/reload", r.handleReload)
+	r.mux.HandleFunc("/drift", r.handleDrift)
+	r.mux.HandleFunc("/retrain", r.handleRetrain)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
 	r.mux.HandleFunc("/readyz", r.handleReadyz)
 	r.mux.HandleFunc("/metrics", r.handleMetrics)
@@ -309,8 +312,11 @@ func (r *Router) ProbeAll() {
 		wg.Add(1)
 		go func(b *Backend) {
 			defer wg.Done()
-			ok, instance := r.probeOne(b)
+			ok, instance, models := r.probeOne(b)
 			b.observeProbe(ok, instance, &r.cfg, r.cfg.Logf)
+			if ok {
+				b.setModels(models)
+			}
 		}(b)
 	}
 	wg.Wait()
@@ -320,25 +326,27 @@ func (r *Router) ProbeAll() {
 // probes fire here too: a killed process fails its health checks, and
 // the flap probe flaps the state machine without touching live
 // traffic.
-func (r *Router) probeOne(b *Backend) (ok bool, instance string) {
+func (r *Router) probeOne(b *Backend) (ok bool, instance, models string) {
 	if faultinject.Enabled() {
 		if faultinject.FireTarget(faultinject.FleetBackendFlap, b.Index) {
-			return false, ""
+			return false, "", ""
 		}
 		if faultinject.FireTarget(faultinject.FleetBackendDrop, b.Index) {
-			return false, ""
+			return false, "", ""
 		}
 	}
 	req, err := http.NewRequest(http.MethodGet, b.url.String()+"/readyz", nil)
 	if err != nil {
-		return false, ""
+		return false, "", ""
 	}
 	resp, err := r.probe.Do(req)
 	if err != nil {
-		return false, ""
+		return false, "", ""
 	}
 	defer resp.Body.Close()
-	return resp.StatusCode == http.StatusOK, resp.Header.Get("X-Targad-Instance")
+	return resp.StatusCode == http.StatusOK,
+		resp.Header.Get("X-Targad-Instance"),
+		resp.Header.Get("X-Targad-Models")
 }
 
 // BackendStatus is one backend's externally visible state (GET
@@ -348,6 +356,7 @@ type BackendStatus struct {
 	State     string `json:"state"`
 	Circuit   string `json:"circuit"`
 	Instance  string `json:"instance,omitempty"`
+	Models    string `json:"models,omitempty"`
 	Inflight  int64  `json:"inflight"`
 	Requests  int64  `json:"requests"`
 	Failures  int64  `json:"failures"`
@@ -366,6 +375,7 @@ func (r *Router) Status() []BackendStatus {
 			State:     b.State().String(),
 			Circuit:   circuitNames[b.cb.snapshotState()],
 			Instance:  b.Instance(),
+			Models:    b.Models(),
 			Inflight:  b.inflight.Load(),
 			Requests:  b.requests.Load(),
 			Failures:  b.failures.Load(),

@@ -119,10 +119,22 @@ func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleBackends dumps the fleet's Status as JSON for operators and
-// the chaos suite.
-func (r *Router) handleBackends(w http.ResponseWriter, _ *http.Request) {
+// the chaos suite. With ?tenant=, the answer also names the tenant's
+// home backend (and the models it advertises), so an operator can ask
+// "where does this tenant's traffic land?" without hashing by hand.
+func (r *Router) handleBackends(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	if tenant := req.URL.Query().Get("tenant"); tenant != "" {
+		home := r.backends[r.TenantBackend(tenant)]
+		_ = enc.Encode(map[string]any{
+			"tenant":      tenant,
+			"home":        home.Name,
+			"home_models": home.Models(),
+			"backends":    r.Status(),
+		})
+		return
+	}
 	_ = enc.Encode(r.Status())
 }

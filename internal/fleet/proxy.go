@@ -114,6 +114,50 @@ func (r *Router) handleFeedbackQueue(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// handleReload forwards a model reload to the tenant's home replica,
+// the ?model= query intact so a multi-model replica reloads the right
+// entry. A reload mutates the replica (it swaps the served model), so
+// one attempt, no hedge — the operator re-issues on failure.
+func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.fail(w, false, http.StatusMethodNotAllowed, "POST required", false)
+		return
+	}
+	r.proxy(w, req, false, proxyOp{method: http.MethodPost, path: "/reload"})
+}
+
+// handleDrift forwards a drift-report read (?model= preserved) to the
+// tenant's home replica — the replica scoring the tenant's traffic is
+// the one whose drift window knows it. Reads are idempotent: full
+// retry/hedge policy.
+func (r *Router) handleDrift(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.fail(w, false, http.StatusMethodNotAllowed, "GET required", false)
+		return
+	}
+	r.proxy(w, req, false, proxyOp{
+		method: http.MethodGet, path: "/drift",
+		maxRetries: r.cfg.MaxRetries, hedge: true,
+	})
+}
+
+// handleRetrain forwards retrain control (?model= preserved): a GET
+// status read gets the idempotent retry/hedge policy, a POST trigger
+// mutates the replica and runs exactly once.
+func (r *Router) handleRetrain(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		r.proxy(w, req, false, proxyOp{
+			method: http.MethodGet, path: "/retrain",
+			maxRetries: r.cfg.MaxRetries, hedge: true,
+		})
+	case http.MethodPost:
+		r.proxy(w, req, false, proxyOp{method: http.MethodPost, path: "/retrain"})
+	default:
+		r.fail(w, false, http.StatusMethodNotAllowed, "GET or POST required", false)
+	}
+}
+
 // proxy buffers the request once and walks the candidate order under
 // op's retry policy.
 func (r *Router) proxy(w http.ResponseWriter, req *http.Request, binary bool, op proxyOp) {

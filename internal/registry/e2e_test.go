@@ -1,0 +1,160 @@
+package registry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"targad/internal/fleet"
+)
+
+// TestE2ETwoTenantRouterParity is the acceptance end-to-end: two
+// tenants with different models score concurrently through
+// targad-router into one registry-backed replica, and every routed
+// answer is bitwise-identical to offline core.Score on that tenant's
+// model — while the two tenant models continuously evict each other
+// (MaxHot admits only one of them beside the pinned default) and one
+// of them is reloaded mid-stream. Run under -race by the ci smoke.
+func TestE2ETwoTenantRouterParity(t *testing.T) {
+	reg, fx := newTestRegistry(t, func(c *Config) { c.MaxHot = 2 })
+	backend := httptest.NewServer(reg.Handler())
+	defer backend.Close()
+
+	router, err := fleet.New(fleet.Config{
+		Backends:      []string{backend.URL},
+		ProbeInterval: -1, // probes driven by hand below
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	router.ProbeAll()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	const perTenant = 25
+	var wg sync.WaitGroup
+	for _, tn := range []struct {
+		tenant string
+		want   []float64
+	}{
+		{"tenant-a", fx.alphaOffline},
+		{"tenant-b", fx.betaOffline},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				status, body := scoreVia(t, rts.Client(), rts.URL, fx.rows, "", tn.tenant)
+				if status != http.StatusOK {
+					t.Errorf("%s iter %d: status %d: %s", tn.tenant, i, status, body)
+					return
+				}
+				got := decodeScores(t, body)
+				for j := range got {
+					if got[j] != tn.want[j] {
+						t.Errorf("%s iter %d row %d: routed score %v != offline %v", tn.tenant, i, j, got[j], tn.want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Mid-stream: reload one tenant model through the router, with the
+	// ?model= query riding the forward.
+	resp, err := rts.Client().Post(rts.URL+"/reload?model=alpha", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed /reload?model=alpha: status %d: %s", resp.StatusCode, body)
+	}
+	wg.Wait()
+
+	// The hot set kept its bound through the churn, and churn happened.
+	c := reg.Counters()
+	if c.HotModels > 2 {
+		t.Fatalf("counters %+v: hot set exceeded MaxHot", c)
+	}
+	if c.Evictions == 0 {
+		t.Fatalf("counters %+v: two tenants over MaxHot=2 never evicted", c)
+	}
+
+	// Affinity surfacing: a fresh probe picks up the hot-model stamp
+	// and /backends?tenant= names the tenant's home and its models.
+	router.ProbeAll()
+	bresp, err := rts.Client().Get(rts.URL + "/backends?tenant=tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	braw, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if !strings.Contains(string(braw), `"home_models"`) || !strings.Contains(string(braw), "base") {
+		t.Fatalf("/backends?tenant=tenant-a = %s, want a home_models stamp naming the hot set", braw)
+	}
+}
+
+// TestRoutedVsDirectModelQueryParity checks satellite routing fidelity
+// for a model-qualified admin endpoint: GET /drift?model= answered
+// through the router is byte-identical to the registry answering
+// directly.
+func TestRoutedVsDirectModelQueryParity(t *testing.T) {
+	reg, fx := newTestRegistry(t, nil)
+	backend := httptest.NewServer(reg.Handler())
+	defer backend.Close()
+
+	// Warm alpha and pin its drift response to a stable state.
+	if status, body := scoreVia(t, backend.Client(), backend.URL, fx.rows, "alpha", ""); status != http.StatusOK {
+		t.Fatalf("warm alpha: status %d: %s", status, body)
+	}
+
+	router, err := fleet.New(fleet.Config{
+		Backends:      []string{backend.URL},
+		ProbeInterval: -1,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	router.ProbeAll()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := rts.Client().Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	for _, path := range []string{"/drift?model=alpha", "/drift?model=base", "/retrain?model=alpha"} {
+		directStatus, direct := get(backend.URL, path)
+		routedStatus, routed := get(rts.URL, path)
+		if routedStatus != directStatus || routed != direct {
+			t.Fatalf("%s: routed (%d) %q != direct (%d) %q", path, routedStatus, routed, directStatus, direct)
+		}
+	}
+
+	// The ?model= query genuinely reaches the registry: an unmanifested
+	// name through the router is the registry's typed 404, not a router
+	// error.
+	status, body := get(rts.URL, "/drift?model=not-a-model")
+	if status != http.StatusNotFound || !strings.Contains(body, "not-a-model") {
+		t.Fatalf("routed /drift?model=not-a-model: status %d body %q, want the registry's typed 404", status, body)
+	}
+}

@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"targad/internal/wire"
+)
+
+// Request headers the registry routes on.
+const (
+	// HeaderModel names the model a /score request wants; it must be
+	// manifested or the request is rejected with 404.
+	HeaderModel = "X-Targad-Model"
+	// HeaderTenant carries the caller's tenant ID; unknown tenants are
+	// served the default model.
+	HeaderTenant = "X-Targad-Tenant"
+	// HeaderHotModels is stamped on /healthz and /readyz: the
+	// comma-separated hot model names, read by fleet probers for
+	// affinity routing.
+	HeaderHotModels = "X-Targad-Models"
+)
+
+// Handler returns the registry's HTTP routes. It is a hand-rolled path
+// switch, not a ServeMux: the default-model /score path must add zero
+// allocations over a single-model server, and a mux match is neither
+// free nor necessary for a flat route table.
+func (r *Registry) Handler() http.Handler { return handler{r} }
+
+type handler struct{ r *Registry }
+
+func (h handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r := h.r
+	switch req.URL.Path {
+	case "/score":
+		name := req.Header.Get(HeaderModel)
+		if name == "" {
+			if tenant := req.Header.Get(HeaderTenant); tenant != "" {
+				name = r.tenantModel(tenant)
+			}
+		}
+		if name == "" || name == r.def.name {
+			// The tenantless (and default-tenant) fast path: one pointer
+			// dereference on top of the single-model server, no map
+			// load, no refcount. The default entry is pinned for the
+			// process lifetime, so no pin is needed to keep it alive.
+			r.def.srv.HandleScore(w, req)
+			return
+		}
+		e, release, err := r.acquire(name)
+		if err != nil {
+			r.writeError(w, req, err)
+			return
+		}
+		e.srv.HandleScore(w, req)
+		release()
+	case "/models":
+		r.handleModels(w, req)
+	case "/metrics":
+		r.handleMetrics(w, req)
+	case "/healthz", "/readyz":
+		// Health belongs to the host, identity to the default entry;
+		// the hot-model stamp rides along for fleet affinity probing.
+		w.Header().Set(HeaderHotModels, strings.Join(r.Hot(), ","))
+		r.def.srv.Handler().ServeHTTP(w, req)
+	default:
+		// Admin endpoints (/reload, /drift, /retrain, /feedback, ...)
+		// resolve their model from the query first — `curl
+		// /drift?model=acme-v2` beats header plumbing for operators —
+		// then the tenant header, then the default.
+		name := req.URL.Query().Get("model")
+		if name == "" {
+			name = req.Header.Get(HeaderModel)
+		}
+		if name == "" {
+			if tenant := req.Header.Get(HeaderTenant); tenant != "" {
+				name = r.tenantModel(tenant)
+			}
+		}
+		if name == "" || name == r.def.name {
+			r.def.srv.Handler().ServeHTTP(w, req)
+			return
+		}
+		e, release, err := r.acquire(name)
+		if err != nil {
+			r.writeError(w, req, err)
+			return
+		}
+		e.srv.Handler().ServeHTTP(w, req)
+		release()
+	}
+}
+
+// handleModels answers GET /models: the manifest's view plus what is
+// currently hot.
+func (r *Registry) handleModels(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.writeJSONError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	c := r.Counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": r.man.Default,
+		"models":  r.man.Names(),
+		"hot":     r.Hot(),
+		"max_hot": c.MaxHot,
+		"tenants": len(r.man.Tenants),
+	})
+}
+
+// writeError maps registry errors onto the request's wire format: an
+// UnknownModelError is a 404, a closed registry a 503, anything else a
+// 500; binary-frame requests get a binary error frame so their clients
+// never have to parse JSON.
+func (r *Registry) writeError(w http.ResponseWriter, req *http.Request, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case isUnknownModel(err):
+		status = http.StatusNotFound
+	case err == ErrClosed:
+		status = http.StatusServiceUnavailable
+	}
+	if strings.HasPrefix(req.Header.Get("Content-Type"), wire.ContentType) {
+		frame := wire.AppendError(nil, status, err.Error())
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(status)
+		_, _ = w.Write(frame)
+		return
+	}
+	r.writeJSONError(w, status, err.Error())
+}
+
+func isUnknownModel(err error) bool {
+	_, ok := err.(*UnknownModelError)
+	return ok
+}
+
+func (r *Registry) writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

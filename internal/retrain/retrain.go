@@ -92,6 +92,23 @@ type Config struct {
 	// MinVerdicts gates Trigger: fewer stored verdicts than this answer
 	// ErrNoVerdicts (default 1).
 	MinVerdicts int
+	// FeedbackTTL, when positive, drops verdicts older than this at
+	// merge time (feedback.Store.SnapshotWithTTL): an analyst call made
+	// against traffic the world has drifted past decays out of
+	// retraining instead of anchoring the candidate to stale labels.
+	// The expiry is deterministic and order-stable, so a TTL'd cycle is
+	// exactly as reproducible offline as a full one — given the same
+	// merge wall-clock. 0 keeps every verdict forever.
+	FeedbackTTL time.Duration
+
+	// FitSlot, when set, is a shared fit-serialization semaphore (a
+	// buffered channel, typically cap 1): the cycle acquires a slot
+	// before Fit and releases it the moment Fit returns, before the
+	// shadow wait. A registry hosting N tenants hands every
+	// orchestrator the same slot so N drift alarms cannot fork N
+	// concurrent Fits, while one tenant's shadow evaluation overlaps the
+	// next tenant's fit. Nil fits without queueing.
+	FitSlot chan struct{}
 
 	// MinShadowRows is how many sampled rows the candidate must
 	// re-score before the gate is judged (default 128).
@@ -129,8 +146,8 @@ type Result struct {
 	FinishedAt time.Time `json:"finished_at"`
 	Verdicts   int       `json:"verdicts"`
 
-	// Outcome: promoted, gate-failed, fit-error, shadow-timeout,
-	// superseded, or canceled.
+	// Outcome: promoted, gate-failed, fit-error, no-verdicts,
+	// shadow-timeout, superseded, or canceled.
 	Outcome string `json:"outcome"`
 
 	PromotedVersion int64   `json:"promoted_version,omitempty"`
@@ -210,8 +227,8 @@ func (o *Orchestrator) Trigger(reason string) error {
 		return ErrClosed
 	default:
 	}
-	if o.cfg.Store.Len() < o.cfg.MinVerdicts {
-		return fmt.Errorf("%w: have %d, want %d", ErrNoVerdicts, o.cfg.Store.Len(), o.cfg.MinVerdicts)
+	if n := o.cfg.Store.LenWithTTL(time.Now(), o.cfg.FeedbackTTL); n < o.cfg.MinVerdicts {
+		return fmt.Errorf("%w: have %d live, want %d", ErrNoVerdicts, n, o.cfg.MinVerdicts)
 	}
 	if !o.running.CompareAndSwap(false, true) {
 		return ErrBusy
@@ -309,9 +326,16 @@ func (o *Orchestrator) runCycle(reason string) {
 		}
 	}
 
-	recs := o.cfg.Store.Snapshot()
+	recs := o.cfg.Store.SnapshotWithTTL(time.Now(), o.cfg.FeedbackTTL)
 	res.Verdicts = len(recs)
 	o.cfg.Logf("retrain: cycle started (%s): %d verdicts", reason, len(recs))
+	if len(recs) < o.cfg.MinVerdicts {
+		// The TTL can expire the verdicts between the Trigger gate and
+		// the merge; a cycle with nothing to learn from is a no-op, not
+		// a fit on the unmodified base set.
+		fail("no-verdicts", fmt.Errorf("%w: %d live after expiry, want %d", ErrNoVerdicts, len(recs), o.cfg.MinVerdicts))
+		return
+	}
 
 	base, err := o.cfg.Train()
 	if err != nil {
@@ -326,12 +350,34 @@ func (o *Orchestrator) runCycle(reason string) {
 		return
 	}
 
+	// The fit slot serializes the expensive part across every tenant
+	// sharing it; acquired for Fit only, so one tenant's shadow wait
+	// never blocks another tenant's fit.
+	releaseFit := func() {}
+	if o.cfg.FitSlot != nil {
+		select {
+		case o.cfg.FitSlot <- struct{}{}:
+			released := false
+			releaseFit = func() {
+				if !released {
+					released = true
+					<-o.cfg.FitSlot
+				}
+			}
+		case <-o.ctx.Done():
+			fail("canceled", o.ctx.Err())
+			return
+		}
+	}
+
 	fitCfg := o.cfg.Fit
 	if cur := o.ctrl.CurrentModel(); cur != nil {
 		fitCfg.WarmStart = cur.WarmStartState()
 	}
 	m := core.New(fitCfg, o.cfg.Seed)
-	if err := m.Fit(o.ctx, merged); err != nil {
+	fitErr := m.Fit(o.ctx, merged)
+	releaseFit()
+	if err := fitErr; err != nil {
 		if errors.Is(err, context.Canceled) {
 			fail("canceled", err)
 			return

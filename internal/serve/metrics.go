@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"targad/internal/monitor"
 )
 
 // latencyBuckets are the fixed upper bounds (seconds) of the request
@@ -46,6 +48,74 @@ func (m *metrics) observeLatency(d time.Duration) {
 		}
 	}
 	m.latencyBkt[len(latencyBuckets)].Add(1)
+}
+
+// Stats is a point-in-time snapshot of the server's serving state, for
+// embedders that render their own metrics exposition — the model
+// registry groups every hot model's series under one HELP/TYPE block
+// with a {model="..."} label, which the per-server /metrics writer
+// cannot do (a metric name must appear in exactly one group).
+type Stats struct {
+	Requests    int64
+	RequestOK   int64
+	RequestErrs int64
+	Shed        int64
+	Canceled    int64
+	TooLarge    int64
+	BinaryReqs  int64
+	Rows        int64
+	Batches     int64
+	BatchRows   int64
+	Reloads     int64
+	ReloadErrs  int64
+	InFlight    int64
+
+	QueueDepth   int
+	QueueCap     int
+	ModelVersion int64
+	Ready        bool
+	ShadowActive bool
+
+	// FeedbackRecords is the verdict-store size (-1: no store).
+	FeedbackRecords int
+	// Monitor is the drift window's snapshot, nil when monitoring is
+	// not armed for the served generation.
+	Monitor *monitor.Snapshot
+}
+
+// Stats snapshots the server's counters and gauges. One monitor
+// Snapshot per call — observation-cadence cost, never on the scoring
+// path.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:        s.metrics.requests.Load(),
+		RequestOK:       s.metrics.requestOK.Load(),
+		RequestErrs:     s.metrics.requestErrs.Load(),
+		Shed:            s.metrics.shed.Load(),
+		Canceled:        s.metrics.canceled.Load(),
+		TooLarge:        s.metrics.tooLarge.Load(),
+		BinaryReqs:      s.metrics.binaryReqs.Load(),
+		Rows:            s.metrics.rows.Load(),
+		Batches:         s.metrics.batches.Load(),
+		BatchRows:       s.metrics.batchRows.Load(),
+		Reloads:         s.metrics.reloads.Load(),
+		ReloadErrs:      s.metrics.reloadErrs.Load(),
+		InFlight:        s.metrics.inFlight.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCap:        cap(s.queue),
+		ModelVersion:    s.ModelVersion(),
+		Ready:           s.Ready(),
+		ShadowActive:    s.shadow.Load() != nil,
+		FeedbackRecords: -1,
+	}
+	if s.cfg.Feedback != nil {
+		st.FeedbackRecords = s.cfg.Feedback.Len()
+	}
+	if lm := s.cur.Load(); lm != nil && lm.mon != nil {
+		snap := lm.mon.Snapshot()
+		st.Monitor = &snap
+	}
+	return st
 }
 
 // write renders the Prometheus text format. Gauges owned by the server

@@ -268,6 +268,23 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// HandleScore answers one /score request directly, bypassing the mux.
+// Embedders that route requests to a Server themselves — the model
+// registry dispatches per-tenant — call it so the hot path pays their
+// dispatch once, not twice.
+func (s *Server) HandleScore(w http.ResponseWriter, r *http.Request) { s.handleScore(w, r) }
+
+// Ready reports whether the server is accepting scoring traffic: a
+// model is loaded and the server is not draining.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	return s.cur.Load() != nil
+}
+
 // ModelVersion returns the generation counter of the served model
 // (0 when none is loaded).
 func (s *Server) ModelVersion() int64 {

@@ -55,7 +55,8 @@ echo "== race smoke (TARGAD_WORKERS=4) =="
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     ./internal/parallel ./internal/mat ./internal/cluster ./internal/nn \
     ./internal/serve ./internal/monitor ./internal/fleet \
-    ./internal/feedback ./internal/activelearn ./internal/retrain
+    ./internal/feedback ./internal/activelearn ./internal/retrain \
+    ./internal/registry
 TARGAD_WORKERS=4 go test -race -short -count=1 \
     -run 'TrainPerCluster' ./internal/autoencoder
 TARGAD_WORKERS=4 go test -race -short -count=1 \
@@ -84,6 +85,13 @@ go test -count=1 -run 'TestSaturatedQueueSheds|TestReloadFailureKeepsServing|Tes
 # auto-promote (plus the gate-failure path keeping the old model).
 go test -count=1 -run 'TestCrashRecoveryEveryPrefix|TestFeedbackLifecycle|TestRetrainGateFailureKeepsServing' \
     ./internal/feedback ./internal/retrain
+# Registry fault suite: LRU eviction racing an in-flight batch on the
+# victim (the request must finish with correct scores and the model
+# must score bitwise-identically after re-load), and an injected
+# cold-load failure (internal/faultinject registry/load-fail) that
+# errors the request, counts, and leaves nothing half-built.
+go test -count=1 -run 'TestRegistryEvictUnderLoad|TestRegistryLoadFailure' \
+    ./internal/registry
 
 # Fleet chaos suite: targeted network probes (fleet/backend-latency,
 # -5xx, -drop, -flap) kill, stall, and flap replicas behind the router
@@ -126,6 +134,12 @@ go test -run '^$' -bench 'BenchmarkMonitorObserve' \
 # path must add zero allocations.
 go test -run '^$' -bench 'BenchmarkServeScoreBinary/|BenchmarkServeScoreWithAcquisition' \
     -benchmem -cpu 1 ./internal/serve | tee -a /tmp/targad_alloc_smoke.txt
+# The registry twin (PR10) holds the identical budget on the
+# tenantless default route through the multi-model handler: the
+# single-model serving path must gain ZERO allocations from the
+# registry sitting in front of it.
+go test -run '^$' -bench 'BenchmarkRegistryScoreBinary$' \
+    -benchmem -cpu 1 ./internal/registry | tee -a /tmp/targad_alloc_smoke.txt
 awk '
 /^Benchmark/ {
     name = $1; allocs = $(NF - 1)
@@ -136,6 +150,7 @@ awk '
     if (name ~ /MonitorObserve/)     budget = 0
     if (name ~ /ServeScoreBinary\//) budget = 9
     if (name ~ /ServeScoreWithAcquisition/) budget = 9
+    if (name ~ /RegistryScoreBinary/) budget = 9
     if (budget >= 0 && allocs + 0 > budget) {
         printf "ALLOC REGRESSION: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget
         bad = 1
